@@ -1,0 +1,162 @@
+//! Common application harness: built-app container, model-aware runner,
+//! and the paper's efficiency metric.
+
+use mtsim_asm::Program;
+use mtsim_core::{Machine, MachineConfig, RunResult, SwitchModel};
+use mtsim_mem::SharedMemory;
+use mtsim_opt::{group_shared_loads, GroupStats};
+
+/// Host-side verifier of a final shared-memory image.
+pub type VerifyFn = Box<dyn Fn(&SharedMemory) -> Result<(), String> + Send + Sync>;
+
+/// A fully constructed application instance: program, initialized shared
+/// memory, and a host-side verifier of the final memory image.
+pub struct BuiltApp {
+    /// Application name.
+    pub name: String,
+    /// The compiler-natural (ungrouped) program.
+    pub program: Program,
+    /// The initialized shared-memory input image.
+    pub shared: SharedMemory,
+    /// Number of threads the program was built for.
+    pub nthreads: usize,
+    verify: VerifyFn,
+}
+
+impl std::fmt::Debug for BuiltApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltApp")
+            .field("name", &self.name)
+            .field("instructions", &self.program.len())
+            .field("shared_words", &self.shared.len())
+            .field("nthreads", &self.nthreads)
+            .finish()
+    }
+}
+
+impl BuiltApp {
+    /// Assembles a built app (used by the per-application constructors).
+    pub fn new(
+        name: impl Into<String>,
+        program: Program,
+        shared: SharedMemory,
+        nthreads: usize,
+        verify: impl Fn(&SharedMemory) -> Result<(), String> + Send + Sync + 'static,
+    ) -> BuiltApp {
+        BuiltApp { name: name.into(), program, shared, nthreads, verify: Box::new(verify) }
+    }
+
+    /// Checks a final shared-memory image against the host-side reference
+    /// computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn verify(&self, shared: &SharedMemory) -> Result<(), String> {
+        (self.verify)(shared)
+    }
+
+    /// The grouped (explicit-switch) version of the program plus the
+    /// static grouping statistics.
+    pub fn grouped(&self) -> (Program, GroupStats) {
+        let g = group_shared_loads(&self.program);
+        (g.program, g.stats)
+    }
+}
+
+/// Runs `app` under `cfg`, automatically selecting the grouped program for
+/// the explicit/conditional-switch models, and verifies the result.
+///
+/// # Errors
+///
+/// Returns an error string for watchdog expiry or result-verification
+/// failure.
+///
+/// # Panics
+///
+/// Panics if `cfg.total_threads() != app.nthreads` (the program image is
+/// specialized to its thread count by barrier arities and partitioning).
+pub fn run_app(app: &BuiltApp, cfg: MachineConfig) -> Result<RunResult, String> {
+    assert_eq!(
+        cfg.total_threads(),
+        app.nthreads,
+        "app {} was built for {} threads, config asks for {}",
+        app.name,
+        app.nthreads,
+        cfg.total_threads()
+    );
+    let program = if cfg.model.uses_explicit_switch() {
+        app.grouped().0
+    } else {
+        app.program.clone()
+    };
+    let fin = Machine::new(cfg, &program, app.shared.clone())
+        .run()
+        .map_err(|e| format!("{}: {e}", app.name))?;
+    app.verify(&fin.shared).map_err(|e| format!("{}: verification failed: {e}", app.name))?;
+    Ok(fin.result)
+}
+
+/// Runs `app` with an explicitly chosen program variant (used by the
+/// Table 6 estimator runs and the ablation benches).
+///
+/// # Errors
+///
+/// Returns an error string for watchdog expiry or verification failure.
+pub fn run_app_with_program(
+    app: &BuiltApp,
+    program: &Program,
+    cfg: MachineConfig,
+) -> Result<RunResult, String> {
+    let fin = Machine::new(cfg, program, app.shared.clone())
+        .run()
+        .map_err(|e| format!("{}: {e}", app.name))?;
+    app.verify(&fin.shared).map_err(|e| format!("{}: verification failed: {e}", app.name))?;
+    Ok(fin.result)
+}
+
+/// The paper's efficiency metric: `T_serial_ideal / (P × T_parallel)`,
+/// i.e. speedup over the 1-processor ideal machine divided by processors.
+pub fn efficiency(baseline_cycles: u64, processors: usize, cycles: u64) -> f64 {
+    if cycles == 0 || processors == 0 {
+        return 0.0;
+    }
+    baseline_cycles as f64 / (processors as f64 * cycles as f64)
+}
+
+/// Finds the smallest multithreading level in `1..=max_t` reaching
+/// `target` efficiency for the given app constructor, or `None`.
+///
+/// `build` receives the total thread count (`processors × T`). This is the
+/// sweep behind Tables 3, 5, 6 and 8.
+pub fn threads_for_efficiency(
+    build: &dyn Fn(usize) -> BuiltApp,
+    model: SwitchModel,
+    processors: usize,
+    target: f64,
+    max_t: usize,
+    baseline_cycles: u64,
+) -> Option<usize> {
+    for t in 1..=max_t {
+        let app = build(processors * t);
+        let cfg = MachineConfig::new(model, processors, t);
+        match run_app(&app, cfg) {
+            Ok(r) => {
+                if efficiency(baseline_cycles, processors, r.cycles) >= target {
+                    return Some(t);
+                }
+            }
+            Err(e) => panic!("sweep run failed: {e}"),
+        }
+    }
+    None
+}
+
+/// Runs the app single-threaded on the ideal machine: the baseline for
+/// every efficiency figure (the paper's "single (0 latency) processor"
+/// cycle counts of Table 1).
+pub fn baseline_cycles(build: &dyn Fn(usize) -> BuiltApp) -> u64 {
+    let app = build(1);
+    let cfg = MachineConfig::ideal(1);
+    run_app(&app, cfg).expect("baseline run").cycles
+}

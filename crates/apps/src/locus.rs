@@ -1,0 +1,239 @@
+//! `locus` — standard-cell wire routing (paper Table 1: "route wires in a
+//! standard cell circuit — Primary2", from the SPLASH suite).
+//!
+//! A cost-driven greedy maze router: each wire walks from source to target
+//! along a monotone (Manhattan-minimal) path, at every step loading the
+//! costs of the one or two cells that move it closer and picking the
+//! cheaper. The loads are split across branches by the direction tests —
+//! precisely the condition-split structure-field pattern the paper blames
+//! for locus's poor intra-block grouping (grouping factor 1.05) and credits
+//! with its huge inter-block potential (one-line-cache hit rate 84 %,
+//! revised factor 6.6). Wires are claimed dynamically; cells are bumped
+//! with fetch-and-add so concurrent wires compose.
+//!
+//! Path *choices* depend on the interleaving, so verification checks
+//! schedule-independent invariants: every recorded path length equals the
+//! wire's Manhattan distance, and the total cost added to the grid equals
+//! the sum of the path lengths.
+
+use crate::harness::BuiltApp;
+use mtsim_asm::{ProgramBuilder, SharedLayout};
+use mtsim_isa::AccessHint;
+use mtsim_mem::SharedMemory;
+use mtsim_rt::WorkQueue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LocusParams {
+    /// Routing-grid width.
+    pub width: usize,
+    /// Routing-grid height.
+    pub height: usize,
+    /// Number of wires to route.
+    pub n_wires: usize,
+    /// Seed for wire-endpoint generation.
+    pub seed: u64,
+}
+
+impl Default for LocusParams {
+    fn default() -> LocusParams {
+        LocusParams { width: 64, height: 24, n_wires: 80, seed: 3 }
+    }
+}
+
+/// Generates the wire list `(sx, sy, tx, ty)`, each with nonzero length.
+fn generate_wires(p: &LocusParams) -> Vec<(i64, i64, i64, i64)> {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut wires = Vec::with_capacity(p.n_wires);
+    while wires.len() < p.n_wires {
+        let sx = rng.random_range(0..p.width as i64);
+        let sy = rng.random_range(0..p.height as i64);
+        let tx = rng.random_range(0..p.width as i64);
+        let ty = rng.random_range(0..p.height as i64);
+        if sx != tx || sy != ty {
+            wires.push((sx, sy, tx, ty));
+        }
+    }
+    wires
+}
+
+/// Builds the locus program for `nthreads` threads.
+pub fn build_locus(params: LocusParams, nthreads: usize) -> BuiltApp {
+    let w = params.width as i64;
+
+    let mut layout = SharedLayout::new();
+    let grid = layout.alloc("grid", (params.width * params.height) as u64) as i64;
+    let wires_base = layout.alloc("wires", 4 * params.n_wires as u64) as i64;
+    let lens = layout.alloc("lens", params.n_wires as u64) as i64;
+    let wq = WorkQueue::alloc(&mut layout, "wires-q");
+
+    let mut b = ProgramBuilder::new("locus");
+    wq.emit_for_each(&mut b, params.n_wires as i64, 1, |b, wire| {
+        let wbase = b.def_i("wbase", wire.get() * 4 + wires_base);
+        // Endpoint loads: a groupable burst of four.
+        let x = b.def_i("x", b.load_shared(wbase.get()));
+        let y = b.def_i("y", b.load_shared(wbase.get() + 1));
+        let tx = b.def_i("tx", b.load_shared(wbase.get() + 2));
+        let ty = b.def_i("ty", b.load_shared(wbase.get() + 3));
+        let len = b.def_i("len", 0);
+
+        // Remaining Manhattan distance; strictly decreases each step.
+        let dx_abs = b.def_i("dxa", tx.get() - x.get());
+        b.if_(dx_abs.get().lt(0), |b| b.assign(dx_abs, b.const_i(0) - dx_abs.get()));
+        let dy_abs = b.def_i("dya", ty.get() - y.get());
+        b.if_(dy_abs.get().lt(0), |b| b.assign(dy_abs, b.const_i(0) - dy_abs.get()));
+        let manh = b.def_i("manh", dx_abs.get() + dy_abs.get());
+
+        // Row base kept incrementally (strength-reduced, as `cc -O2`
+        // would): no multiplies inside the per-step loop, keeping the
+        // run-lengths short as in the paper (mean ≈ 8).
+        let rowbase = b.def_i("rowbase", y.get() * w + grid);
+        b.while_(manh.get().gt(0), |b| {
+            let ddx = b.def_i("ddx", tx.get() - x.get());
+            let ddy = b.def_i("ddy", ty.get() - y.get());
+            // sign(ddx), sign(ddy)
+            let sgnx = b.def_i("sgnx", b.const_i(0).lt_val(ddx.get()) - ddx.get().lt_val(0));
+            let sgny = b.def_i("sgny", b.const_i(0).lt_val(ddy.get()) - ddy.get().lt_val(0));
+            // The row the vertical step would land in.
+            let nextrow = b.def_i("nextrow", rowbase.get());
+            b.if_else(
+                sgny.get().ge(0),
+                |b| b.assign(nextrow, nextrow.get() + w),
+                |b| b.assign(nextrow, nextrow.get() - w),
+            );
+            b.if_else(
+                ddx.get().ne(0),
+                |b| {
+                    b.if_else(
+                        ddy.get().ne(0),
+                        |b| {
+                            // Two candidate steps: compare their cell costs
+                            // (loads split across this branch structure).
+                            let ch = b.def_i(
+                                "ch",
+                                b.load_shared(rowbase.get() + (x.get() + sgnx.get())),
+                            );
+                            let cv = b.def_i("cv", b.load_shared(nextrow.get() + x.get()));
+                            b.if_else(
+                                ch.get().le(cv.get()),
+                                |b| b.assign(x, x.get() + sgnx.get()),
+                                |b| {
+                                    b.assign(y, y.get() + sgny.get());
+                                    b.assign(rowbase, nextrow.get());
+                                },
+                            );
+                        },
+                        |b| b.assign(x, x.get() + sgnx.get()),
+                    );
+                },
+                |b| {
+                    b.assign(y, y.get() + sgny.get());
+                    b.assign(rowbase, nextrow.get());
+                },
+            );
+            b.fetch_add_discard(rowbase.get() + x.get(), b.const_i(1), AccessHint::Data);
+            b.assign(len, len.get() + 1);
+            b.assign(manh, manh.get() - 1);
+        });
+        b.store_shared(wire.get() + lens, len.get());
+    });
+
+    let program = b.finish();
+    let mut shared = SharedMemory::new(layout.size());
+    let wires = generate_wires(&params);
+    for (k, &(sx, sy, tx, ty)) in wires.iter().enumerate() {
+        let base = wires_base as usize + 4 * k;
+        shared.write_i64(base as u64, sx);
+        shared.write_i64(base as u64 + 1, sy);
+        shared.write_i64(base as u64 + 2, tx);
+        shared.write_i64(base as u64 + 3, ty);
+    }
+
+    let grid_cells = params.width * params.height;
+    BuiltApp::new("locus", program, shared, nthreads, move |mem| {
+        let mut total_len = 0i64;
+        for (k, &(sx, sy, tx, ty)) in wires.iter().enumerate() {
+            let manh = (tx - sx).abs() + (ty - sy).abs();
+            let got = mem.read_i64((lens as usize + k) as u64);
+            if got != manh {
+                return Err(format!("wire {k}: path length {got}, Manhattan distance {manh}"));
+            }
+            total_len += manh;
+        }
+        let mut grid_sum = 0i64;
+        for c in 0..grid_cells {
+            let v = mem.read_i64((grid as usize + c) as u64);
+            if v < 0 {
+                return Err(format!("cell {c} has negative cost {v}"));
+            }
+            grid_sum += v;
+        }
+        if grid_sum != total_len {
+            return Err(format!(
+                "grid cost sum {grid_sum} != total path length {total_len}"
+            ));
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_app;
+    use mtsim_core::{MachineConfig, SwitchModel};
+
+    #[test]
+    fn wires_are_nontrivial() {
+        let ws = generate_wires(&LocusParams { width: 10, height: 10, n_wires: 20, seed: 1 });
+        assert_eq!(ws.len(), 20);
+        assert!(ws.iter().all(|&(sx, sy, tx, ty)| sx != tx || sy != ty));
+    }
+
+    #[test]
+    fn locus_single_thread() {
+        let app =
+            build_locus(LocusParams { width: 10, height: 8, n_wires: 6, seed: 2 }, 1);
+        run_app(&app, MachineConfig::ideal(1)).unwrap();
+    }
+
+    #[test]
+    fn locus_parallel_models() {
+        for (model, p, t) in [
+            (SwitchModel::SwitchOnLoad, 4, 2),
+            (SwitchModel::ExplicitSwitch, 2, 3),
+            (SwitchModel::ConditionalSwitch, 2, 2),
+        ] {
+            let app =
+                build_locus(LocusParams { width: 12, height: 8, n_wires: 10, seed: 4 }, p * t);
+            run_app(&app, MachineConfig::new(model, p, t)).unwrap();
+        }
+    }
+
+    #[test]
+    fn locus_run_lengths_are_short() {
+        // Branchy single-load steps: the paper reports a mean around 8.
+        let app = build_locus(LocusParams { width: 16, height: 12, n_wires: 12, seed: 6 }, 2);
+        let r = run_app(&app, MachineConfig::new(SwitchModel::SwitchOnLoad, 1, 2)).unwrap();
+        assert!(
+            r.run_lengths.mean() < 20.0,
+            "locus run-lengths should be short: {}",
+            r.run_lengths.mean()
+        );
+    }
+
+    #[test]
+    fn locus_intra_block_grouping_is_weak() {
+        // The step loads are split across branches: the static grouping
+        // factor must stay close to 1, as in the paper (1.05).
+        let app = build_locus(LocusParams::default(), 4);
+        let (_, stats) = app.grouped();
+        assert!(
+            stats.grouping_factor() < 2.5,
+            "expected weak intra-block grouping: {}",
+            stats.grouping_factor()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Memory-layout helpers.
+//!
+//! [`SharedLayout`] is a host-side bump allocator for the global shared
+//! address space: the application harness allocates named regions (arrays,
+//! counters, barriers) and bakes their base addresses into the generated
+//! program as constants — mirroring the paper's statically-classified
+//! shared declarations. [`LocalFrame`] plays the same role for each
+//! thread's private memory.
+
+/// Bump allocator over the shared word-address space.
+#[derive(Debug, Clone, Default)]
+pub struct SharedLayout {
+    next: u64,
+    regions: Vec<(String, u64, u64)>,
+}
+
+impl SharedLayout {
+    /// An empty layout starting at address 0.
+    pub fn new() -> SharedLayout {
+        SharedLayout::default()
+    }
+
+    /// Allocates `words` shared words under `name`, returning the base
+    /// word address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn alloc(&mut self, name: impl Into<String>, words: u64) -> u64 {
+        assert!(words > 0, "zero-sized shared region");
+        let base = self.next;
+        self.regions.push((name.into(), base, words));
+        self.next += words;
+        base
+    }
+
+    /// Total words allocated so far (the shared-memory size the simulator
+    /// must provide).
+    pub fn size(&self) -> u64 {
+        self.next
+    }
+
+    /// Iterates `(name, base, words)` regions in allocation order.
+    pub fn regions(&self) -> impl Iterator<Item = (&str, u64, u64)> {
+        self.regions.iter().map(|(n, b, w)| (n.as_str(), *b, *w))
+    }
+
+    /// Looks up a region's base address by name.
+    pub fn base(&self, name: &str) -> Option<u64> {
+        self.regions.iter().find(|(n, ..)| n == name).map(|&(_, b, _)| b)
+    }
+}
+
+/// Bump allocator over a thread's private (local) word-address space.
+#[derive(Debug, Clone, Default)]
+pub struct LocalFrame {
+    next: u64,
+}
+
+impl LocalFrame {
+    /// An empty frame starting at local address 0.
+    pub fn new() -> LocalFrame {
+        LocalFrame::default()
+    }
+
+    /// Allocates `words` local words, returning the base word address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn alloc(&mut self, words: u64) -> u64 {
+        assert!(words > 0, "zero-sized local region");
+        let base = self.next;
+        self.next += words;
+        base
+    }
+
+    /// Total local words allocated (the local-memory size each thread needs).
+    pub fn size(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_layout_is_contiguous() {
+        let mut l = SharedLayout::new();
+        let a = l.alloc("a", 10);
+        let b = l.alloc("b", 5);
+        assert_eq!(a, 0);
+        assert_eq!(b, 10);
+        assert_eq!(l.size(), 15);
+        assert_eq!(l.base("b"), Some(10));
+        assert_eq!(l.base("c"), None);
+        assert_eq!(l.regions().count(), 2);
+    }
+
+    #[test]
+    fn local_frame_bumps() {
+        let mut f = LocalFrame::new();
+        assert_eq!(f.alloc(4), 0);
+        assert_eq!(f.alloc(1), 4);
+        assert_eq!(f.size(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_alloc_panics() {
+        SharedLayout::new().alloc("z", 0);
+    }
+}

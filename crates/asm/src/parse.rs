@@ -1,0 +1,456 @@
+//! Textual assembly parser — the inverse of the instruction `Display`
+//! impl and [`Program::listing`](crate::Program::listing).
+//!
+//! Accepts the listing format (optional `pc:` prefixes, blank lines, and
+//! `;` comments are ignored), so a program can be dumped with
+//! `Program::listing`, edited by hand — the workflow of the paper's
+//! assembly-level post-processor — and reloaded:
+//!
+//! ```
+//! use mtsim_asm::{parse_program, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new("t");
+//! let x = b.def_i("x", b.load_shared(b.const_i(4)));
+//! b.store_shared(b.const_i(5), x.get() + 1);
+//! let prog = b.finish();
+//!
+//! let reparsed = parse_program("t", &prog.listing()).unwrap();
+//! assert_eq!(reparsed.insts(), prog.insts());
+//! ```
+
+use crate::Program;
+use mtsim_isa::{AccessHint, AluOp, BCond, CmpOp, FReg, FpuOp, Inst, Reg, Space, Target};
+
+/// A parse failure, with the 1-based line number and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+/// Parses a program listing back into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first offending line with a description. Branch targets
+/// must use the resolved `@pc` form (as produced by `Program::listing`).
+pub fn parse_program(name: &str, text: &str) -> Result<Program, ParseAsmError> {
+    let mut insts = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let mut s = raw;
+        if let Some(i) = s.find(';') {
+            s = &s[..i];
+        }
+        // strip an optional "  123:" pc prefix
+        if let Some(colon) = s.find(':') {
+            if s[..colon].trim().chars().all(|c| c.is_ascii_digit())
+                && !s[..colon].trim().is_empty()
+            {
+                s = &s[colon + 1..];
+            }
+        }
+        let s = s.trim();
+        if s.is_empty() {
+            continue;
+        }
+        insts.push(parse_inst(s).map_err(|message| ParseAsmError { line, message })?);
+    }
+    if insts.is_empty() {
+        return Err(ParseAsmError { line: 0, message: "empty program".to_string() });
+    }
+    // Validation mirrors Program::from_raw_parts but reports Err instead
+    // of panicking.
+    for (pc, inst) in insts.iter().enumerate() {
+        if let Some(Target::Pc(t)) = inst.target() {
+            if t as usize >= insts.len() {
+                return Err(ParseAsmError {
+                    line: pc + 1,
+                    message: format!("branch target @{t} out of range"),
+                });
+            }
+        }
+    }
+    if !insts.iter().any(|i| matches!(i, Inst::Halt)) {
+        return Err(ParseAsmError { line: 0, message: "program has no halt".to_string() });
+    }
+    Ok(Program::from_raw_parts(name.to_string(), insts))
+}
+
+fn parse_inst(s: &str) -> Result<Inst, String> {
+    let (mnemonic, rest) = match s.find(' ') {
+        Some(i) => (&s[..i], s[i + 1..].trim()),
+        None => (s, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+
+    // Zero-operand forms first.
+    match mnemonic {
+        "switch" => return expect0(&ops, Inst::Switch),
+        "halt" => return expect0(&ops, Inst::Halt),
+        "nop" => return expect0(&ops, Inst::Nop),
+        _ => {}
+    }
+
+    if mnemonic == "prio" {
+        let level: u8 =
+            one(&ops)?.parse().map_err(|_| format!("bad priority level '{}'", ops[0]))?;
+        return Ok(Inst::SetPrio { level });
+    }
+
+    // ALU register-register and register-immediate.
+    if let Some(op) = alu_op(mnemonic) {
+        let [rd, rs, rt] = three(&ops)?;
+        return Ok(Inst::Alu { op, rd: reg(rd)?, rs: reg(rs)?, rt: reg(rt)? });
+    }
+    if let Some(op) = mnemonic.strip_suffix('i').and_then(alu_op) {
+        let [rd, rs, imm] = three(&ops)?;
+        return Ok(Inst::AluI {
+            op,
+            rd: reg(rd)?,
+            rs: reg(rs)?,
+            imm: imm.parse().map_err(|_| format!("bad immediate '{imm}'"))?,
+        });
+    }
+
+    // FPU arithmetic / compares.
+    if let Some(op) = fpu_op(mnemonic) {
+        let [fd, fs, ft] = three(&ops)?;
+        return Ok(Inst::Fpu { op, fd: freg(fd)?, fs: freg(fs)?, ft: freg(ft)? });
+    }
+    if let Some(op) = cmp_op(mnemonic) {
+        let [rd, fs, ft] = three(&ops)?;
+        return Ok(Inst::FpuCmp { op, rd: reg(rd)?, fs: freg(fs)?, ft: freg(ft)? });
+    }
+
+    match mnemonic {
+        "fli" => {
+            let [fd, val] = two(&ops)?;
+            let bits = val.parse::<f64>().map_err(|_| format!("bad float '{val}'"))?;
+            Ok(Inst::FLi { fd: freg(fd)?, val: bits })
+        }
+        "cvt.i.f" => {
+            let [fd, rs] = two(&ops)?;
+            Ok(Inst::CvtIF { fd: freg(fd)?, rs: reg(rs)? })
+        }
+        "cvt.f.i" => {
+            let [rd, fs] = two(&ops)?;
+            Ok(Inst::CvtFI { rd: reg(rd)?, fs: freg(fs)? })
+        }
+        "mov.i.f" => {
+            let [fd, rs] = two(&ops)?;
+            Ok(Inst::MovIF { fd: freg(fd)?, rs: reg(rs)? })
+        }
+        "mov.f.i" => {
+            let [rd, fs] = two(&ops)?;
+            Ok(Inst::MovFI { rd: reg(rd)?, fs: freg(fs)? })
+        }
+        "fsqrt" => {
+            let [fd, fs] = two(&ops)?;
+            Ok(Inst::FSqrt { fd: freg(fd)?, fs: freg(fs)? })
+        }
+        "j" => {
+            let t = one(&ops)?;
+            Ok(Inst::Jump { target: target(t)? })
+        }
+        _ => parse_memory_or_branch(mnemonic, &ops),
+    }
+}
+
+fn parse_memory_or_branch(mnemonic: &str, ops: &[&str]) -> Result<Inst, String> {
+    if let Some(cond) = bcond(mnemonic) {
+        let [rs, rt, t] = three(ops)?;
+        return Ok(Inst::Branch { cond, rs: reg(rs)?, rt: reg(rt)?, target: target(t)? });
+    }
+
+    // Memory mnemonics: base "ld"/"st"/"fld"/"fst"/"ldd"/"std"/"faa" with
+    // ".l"/".s" space suffix and optional ".spin" hint suffix.
+    let (stem, hint) = match mnemonic.strip_suffix(".spin") {
+        Some(s) => (s, AccessHint::Spin),
+        None => (mnemonic, AccessHint::Data),
+    };
+    if stem == "faa" {
+        let [rd, rs, mem] = three(ops)?;
+        let (offset, base) = mem_operand(mem)?;
+        return Ok(Inst::FetchAdd { rd: reg(rd)?, rs: reg(rs)?, base, offset, hint });
+    }
+    let (op, space) = match stem.rsplit_once('.') {
+        Some((op, "l")) => (op, Space::Local),
+        Some((op, "s")) => (op, Space::Shared),
+        _ => return Err(format!("unknown mnemonic '{mnemonic}'")),
+    };
+    match op {
+        "ld" => {
+            let [rd, mem] = two(ops)?;
+            let (offset, base) = mem_operand(mem)?;
+            Ok(Inst::Load { space, rd: reg(rd)?, base, offset, hint })
+        }
+        "st" => {
+            let [rs, mem] = two(ops)?;
+            let (offset, base) = mem_operand(mem)?;
+            Ok(Inst::Store { space, rs: reg(rs)?, base, offset, hint })
+        }
+        "fld" => {
+            let [fd, mem] = two(ops)?;
+            let (offset, base) = mem_operand(mem)?;
+            Ok(Inst::FLoad { space, fd: freg(fd)?, base, offset })
+        }
+        "fst" => {
+            let [fs, mem] = two(ops)?;
+            let (offset, base) = mem_operand(mem)?;
+            Ok(Inst::FStore { space, fs: freg(fs)?, base, offset })
+        }
+        "ldd" => {
+            let [pair, mem] = two(ops)?;
+            let (fd1, fd2) = freg_pair(pair)?;
+            let (offset, base) = mem_operand(mem)?;
+            Ok(Inst::LoadPair { space, fd1, fd2, base, offset })
+        }
+        "std" => {
+            let [pair, mem] = two(ops)?;
+            let (fs1, fs2) = freg_pair(pair)?;
+            let (offset, base) = mem_operand(mem)?;
+            Ok(Inst::StorePair { space, fs1, fs2, base, offset })
+        }
+        _ => Err(format!("unknown mnemonic '{mnemonic}'")),
+    }
+}
+
+fn alu_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sle" => AluOp::Sle,
+        "seq" => AluOp::Seq,
+        "sne" => AluOp::Sne,
+        _ => return None,
+    })
+}
+
+fn fpu_op(m: &str) -> Option<FpuOp> {
+    Some(match m {
+        "fadd" => FpuOp::Add,
+        "fsub" => FpuOp::Sub,
+        "fmul" => FpuOp::Mul,
+        "fdiv" => FpuOp::Div,
+        "fmin" => FpuOp::Min,
+        "fmax" => FpuOp::Max,
+        _ => return None,
+    })
+}
+
+fn cmp_op(m: &str) -> Option<CmpOp> {
+    Some(match m {
+        "flt" => CmpOp::Lt,
+        "fle" => CmpOp::Le,
+        "feq" => CmpOp::Eq,
+        "fne" => CmpOp::Ne,
+        _ => return None,
+    })
+}
+
+fn bcond(m: &str) -> Option<BCond> {
+    Some(match m {
+        "beq" => BCond::Eq,
+        "bne" => BCond::Ne,
+        "blt" => BCond::Lt,
+        "ble" => BCond::Le,
+        "bgt" => BCond::Gt,
+        "bge" => BCond::Ge,
+        _ => return None,
+    })
+}
+
+fn reg(s: &str) -> Result<Reg, String> {
+    let n = s
+        .strip_prefix('r')
+        .and_then(|d| d.parse::<u8>().ok())
+        .ok_or_else(|| format!("bad integer register '{s}'"))?;
+    if n < 32 {
+        Ok(Reg::new(n))
+    } else {
+        Err(format!("integer register out of range '{s}'"))
+    }
+}
+
+fn freg(s: &str) -> Result<FReg, String> {
+    let n = s
+        .strip_prefix('f')
+        .and_then(|d| d.parse::<u8>().ok())
+        .ok_or_else(|| format!("bad fp register '{s}'"))?;
+    if n < 32 {
+        Ok(FReg::new(n))
+    } else {
+        Err(format!("fp register out of range '{s}'"))
+    }
+}
+
+fn freg_pair(s: &str) -> Result<(FReg, FReg), String> {
+    let (a, b) = s.split_once(':').ok_or_else(|| format!("bad register pair '{s}'"))?;
+    Ok((freg(a)?, freg(b)?))
+}
+
+/// Parses `offset(base)`.
+fn mem_operand(s: &str) -> Result<(i64, Reg), String> {
+    let open = s.find('(').ok_or_else(|| format!("bad memory operand '{s}'"))?;
+    let close = s.rfind(')').filter(|&c| c > open).ok_or_else(|| format!("bad memory operand '{s}'"))?;
+    let offset: i64 =
+        s[..open].trim().parse().map_err(|_| format!("bad offset in '{s}'"))?;
+    let base = reg(s[open + 1..close].trim())?;
+    Ok((offset, base))
+}
+
+fn target(s: &str) -> Result<Target, String> {
+    let pc = s
+        .strip_prefix('@')
+        .and_then(|d| d.parse::<u32>().ok())
+        .ok_or_else(|| format!("bad branch target '{s}' (expected @pc)"))?;
+    Ok(Target::Pc(pc))
+}
+
+fn expect0(ops: &[&str], inst: Inst) -> Result<Inst, String> {
+    if ops.is_empty() {
+        Ok(inst)
+    } else {
+        Err(format!("unexpected operands for {inst}"))
+    }
+}
+
+fn one<'a>(ops: &[&'a str]) -> Result<&'a str, String> {
+    match ops {
+        [a] => Ok(a),
+        _ => Err(format!("expected 1 operand, found {}", ops.len())),
+    }
+}
+
+fn two<'a>(ops: &[&'a str]) -> Result<[&'a str; 2], String> {
+    match ops {
+        [a, b] => Ok([a, b]),
+        _ => Err(format!("expected 2 operands, found {}", ops.len())),
+    }
+}
+
+fn three<'a>(ops: &[&'a str]) -> Result<[&'a str; 3], String> {
+    match ops {
+        [a, b, c] => Ok([a, b, c]),
+        _ => Err(format!("expected 3 operands, found {}", ops.len())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    fn roundtrip(prog: &Program) {
+        let text = prog.listing();
+        let back = parse_program(prog.name(), &text).unwrap_or_else(|e| {
+            panic!("parse failed: {e}\n{text}");
+        });
+        assert_eq!(back.insts(), prog.insts(), "\n{text}");
+    }
+
+    #[test]
+    fn roundtrips_every_instruction_kind() {
+        use mtsim_isa::Target;
+        let r = Reg::new(8);
+        let r2 = Reg::new(9);
+        let f = FReg::new(1);
+        let f2 = FReg::new(2);
+        let insts = vec![
+            Inst::Alu { op: AluOp::Add, rd: r, rs: r2, rt: r },
+            Inst::AluI { op: AluOp::Xor, rd: r, rs: r2, imm: -12 },
+            Inst::Fpu { op: FpuOp::Min, fd: f, fs: f2, ft: f },
+            Inst::FpuCmp { op: CmpOp::Le, rd: r, fs: f, ft: f2 },
+            Inst::FLi { fd: f, val: 2.5 },
+            Inst::CvtIF { fd: f, rs: r },
+            Inst::CvtFI { rd: r, fs: f },
+            Inst::MovIF { fd: f, rs: r },
+            Inst::MovFI { rd: r, fs: f },
+            Inst::FSqrt { fd: f, fs: f2 },
+            Inst::Load { space: Space::Shared, rd: r, base: r2, offset: -3, hint: AccessHint::Data },
+            Inst::Load { space: Space::Shared, rd: r, base: r2, offset: 0, hint: AccessHint::Spin },
+            Inst::Store { space: Space::Local, rs: r, base: r2, offset: 7, hint: AccessHint::Data },
+            Inst::FLoad { space: Space::Shared, fd: f, base: r, offset: 1 },
+            Inst::FStore { space: Space::Local, fs: f, base: r, offset: 2 },
+            Inst::LoadPair { space: Space::Shared, fd1: f, fd2: f2, base: r, offset: 0 },
+            Inst::StorePair { space: Space::Shared, fs1: f, fs2: f2, base: r, offset: 4 },
+            Inst::FetchAdd { rd: r, rs: r2, base: r, offset: 0, hint: AccessHint::Spin },
+            Inst::Branch { cond: BCond::Ge, rs: r, rt: r2, target: Target::Pc(21) },
+            Inst::Jump { target: Target::Pc(0) },
+            Inst::SetPrio { level: 1 },
+            Inst::Switch,
+            Inst::Nop,
+            Inst::Halt,
+        ];
+        roundtrip(&Program::from_raw_parts("all", insts));
+    }
+
+    #[test]
+    fn roundtrips_builder_programs() {
+        let mut b = ProgramBuilder::new("loop");
+        let acc = b.def_f("acc", 0.0);
+        b.for_range("i", 0, 8, |b, i| {
+            let v = b.load_shared_f(i.get() + 16);
+            b.assign_f(acc, acc.get() + v * 0.5);
+        });
+        b.store_shared_f(b.const_i(40), acc.get());
+        roundtrip(&b.finish());
+    }
+
+    #[test]
+    fn accepts_comments_and_blank_lines() {
+        let text = "\n; header comment\n  0:  addi r8, r0, 5 ; set x\n\n  halt\n";
+        let p = parse_program("c", text).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let err = parse_program("e", "addi r8, r0, 5\nbogus r1\nhalt").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_targets() {
+        let err = parse_program("e", "j @99\nhalt").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_missing_halt() {
+        let err = parse_program("e", "nop").unwrap_err();
+        assert!(err.message.contains("halt"));
+    }
+
+    #[test]
+    fn rejects_bad_registers() {
+        assert!(parse_program("e", "add r32, r0, r0\nhalt").is_err());
+        assert!(parse_program("e", "fadd f40, f0, f0\nhalt").is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! The [`Program`] container: a resolved, immutable instruction sequence.
+
+use mtsim_isa::{Inst, LabelId, Pc, Target};
+
+/// A finished program: instructions with all branch targets resolved to
+/// absolute program counters.
+///
+/// Produced by [`crate::ProgramBuilder::finish`] or by
+/// [`Program::from_raw_parts`] (used by the optimizer, which rewrites
+/// instruction sequences).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    local_words: u64,
+}
+
+impl Program {
+    /// Builds a program from a name and an already-resolved instruction
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch target is still an unresolved label or points
+    /// outside the program, or if the program does not end with a reachable
+    /// `Halt` (every well-formed thread must terminate explicitly).
+    pub fn from_raw_parts(name: impl Into<String>, insts: Vec<Inst>) -> Program {
+        let name = name.into();
+        assert!(!insts.is_empty(), "program {name} is empty");
+        for (pc, inst) in insts.iter().enumerate() {
+            if let Some(t) = inst.target() {
+                match t {
+                    Target::Label(l) => panic!("program {name}: unresolved label L{l} at pc {pc}"),
+                    Target::Pc(p) => assert!(
+                        (p as usize) < insts.len(),
+                        "program {name}: branch target @{p} out of range at pc {pc}"
+                    ),
+                }
+            }
+        }
+        assert!(
+            insts.iter().any(|i| matches!(i, Inst::Halt)),
+            "program {name} contains no Halt"
+        );
+        Program { name, insts, local_words: 0 }
+    }
+
+    /// Resolves labels against a label table (`labels[id] = pc`) and builds
+    /// the program. Used by the builder.
+    pub(crate) fn resolve(name: String, mut insts: Vec<Inst>, labels: &[Option<Pc>]) -> Program {
+        for inst in &mut insts {
+            if let Some(Target::Label(l)) = inst.target() {
+                let pc = labels
+                    .get(l as usize)
+                    .copied()
+                    .flatten()
+                    .unwrap_or_else(|| panic!("label L{l} was never placed"));
+                inst.set_target(Target::Pc(pc));
+            }
+        }
+        Program::from_raw_parts(name, insts)
+    }
+
+    /// The program's name (used in listings and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Words of per-thread local memory the program requires (recorded by
+    /// the builder's local allocator; preserved across the grouping pass).
+    pub fn local_words(&self) -> u64 {
+        self.local_words
+    }
+
+    /// Sets the local-memory requirement (used by the builder and by
+    /// passes that rebuild the instruction vector).
+    pub fn with_local_words(mut self, words: u64) -> Program {
+        self.local_words = words;
+        self
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn inst(&self, pc: Pc) -> &Inst {
+        &self.insts[pc as usize]
+    }
+
+    /// All instructions in order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program has no instructions (never true for a validated
+    /// program, but provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Number of static shared-memory access instructions.
+    pub fn shared_access_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.is_shared_access()).count()
+    }
+
+    /// Number of static `Switch` instructions.
+    pub fn switch_count(&self) -> usize {
+        self.insts.iter().filter(|i| matches!(i, Inst::Switch)).count()
+    }
+
+    /// A human-readable listing, one instruction per line with pc prefixes.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (pc, inst) in self.insts.iter().enumerate() {
+            let _ = writeln!(s, "{pc:5}:  {inst}");
+        }
+        s
+    }
+}
+
+/// A label-placement table used during building.
+#[derive(Debug, Default)]
+pub(crate) struct LabelTable {
+    placed: Vec<Option<Pc>>,
+}
+
+impl LabelTable {
+    pub(crate) fn fresh(&mut self) -> LabelId {
+        self.placed.push(None);
+        (self.placed.len() - 1) as LabelId
+    }
+
+    pub(crate) fn place(&mut self, id: LabelId, pc: Pc) {
+        let slot = &mut self.placed[id as usize];
+        assert!(slot.is_none(), "label L{id} placed twice");
+        *slot = Some(pc);
+    }
+
+    pub(crate) fn slots(&self) -> &[Option<Pc>] {
+        &self.placed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsim_isa::{AluOp, Reg};
+
+    fn nop() -> Inst {
+        Inst::Nop
+    }
+
+    #[test]
+    fn from_raw_parts_validates_targets() {
+        let p = Program::from_raw_parts(
+            "t",
+            vec![Inst::Jump { target: Target::Pc(1) }, Inst::Halt],
+        );
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.name(), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_target() {
+        let _ = Program::from_raw_parts("t", vec![Inst::Jump { target: Target::Pc(9) }, Inst::Halt]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved label")]
+    fn rejects_unresolved_label() {
+        let _ =
+            Program::from_raw_parts("t", vec![Inst::Jump { target: Target::Label(0) }, Inst::Halt]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no Halt")]
+    fn rejects_missing_halt() {
+        let _ = Program::from_raw_parts("t", vec![nop()]);
+    }
+
+    #[test]
+    fn counts_and_listing() {
+        let insts = vec![
+            Inst::AluI { op: AluOp::Add, rd: Reg::R8, rs: Reg::ZERO, imm: 5 },
+            Inst::Switch,
+            Inst::Halt,
+        ];
+        let p = Program::from_raw_parts("c", insts);
+        assert_eq!(p.switch_count(), 1);
+        assert_eq!(p.shared_access_count(), 0);
+        let l = p.listing();
+        assert!(l.contains("switch"));
+        assert!(l.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn label_double_place_panics() {
+        let mut t = LabelTable::default();
+        let l = t.fresh();
+        t.place(l, 0);
+        t.place(l, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulator-performance bench: wall-clock time to simulate each
+//! application under each of the paper's three main models (plus ideal),
+//! at tiny scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtsim_apps::{build_app, run_app, AppKind, Scale};
+use mtsim_core::{MachineConfig, SwitchModel};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for model in [
+        SwitchModel::Ideal,
+        SwitchModel::SwitchOnLoad,
+        SwitchModel::ExplicitSwitch,
+        SwitchModel::ConditionalSwitch,
+    ] {
+        for kind in [AppKind::Sieve, AppKind::Sor, AppKind::Mp3d] {
+            g.bench_function(format!("{model}/{kind}"), |b| {
+                let (p, t) = (2, 2);
+                let app = build_app(kind, Scale::Tiny, p * t);
+                b.iter(|| {
+                    let mut cfg = MachineConfig::new(model, p, t);
+                    if model == SwitchModel::Ideal {
+                        cfg.latency = 0;
+                    }
+                    black_box(run_app(&app, cfg).expect("bench run"));
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

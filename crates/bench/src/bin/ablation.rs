@@ -1,0 +1,32 @@
+//! §6.2 ablation: the conditional-switch forced-switch interval on ugray
+//! (long cache-hit runs starve lock holders without it).
+//!
+//! Usage: `cargo run --release -p mtsim-bench --bin ablation [--scale tiny|small|full]`
+
+use mtsim_bench::report::TextTable;
+use mtsim_bench::{experiments, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Section 6.2 ablation: ugray, conditional-switch forced-switch interval (scale {scale:?})\n");
+    let settings = [None, Some(1000), Some(400), Some(200), Some(100)];
+    let mut t = TextTable::new(["max_run", "cycles", "forced switches", "mean run-length"]);
+    for row in experiments::max_run_ablation(scale, &settings) {
+        match row.outcome {
+            Some((cycles, forced, mean)) => t.row([
+                row.max_run.map_or("off".to_string(), |m| m.to_string()),
+                cycles.to_string(),
+                forced.to_string(),
+                format!("{mean:.1}"),
+            ]),
+            None => t.row([
+                row.max_run.map_or("off".to_string(), |m| m.to_string()),
+                "LIVELOCK".to_string(),
+                "-".to_string(),
+                "- (spinner starves the lock holder)".to_string(),
+            ]),
+        };
+    }
+    print!("{}", t.render());
+    println!("\n(paper: the 200-cycle flag bounds runs so lock holders are rescheduled promptly)");
+}

@@ -1,0 +1,34 @@
+//! Bandwidth burstiness: §6.1 warns that "traffic will be bursty and have
+//! periods of higher bandwidth requirements" than the run average. This
+//! binary quantifies it: mean vs. peak windowed bits/cycle per
+//! application.
+//!
+//! Usage: `cargo run --release -p mtsim-bench --bin burstiness [--scale tiny|small|full]`
+
+use mtsim_apps::{build_app, AppKind};
+use mtsim_bench::report::TextTable;
+use mtsim_bench::scale_from_args;
+use mtsim_core::{Machine, MachineConfig, SwitchModel};
+use mtsim_trace::BandwidthProfile;
+
+fn main() {
+    let scale = scale_from_args();
+    let procs = 4;
+    println!("Bandwidth burstiness, explicit-switch, 200-cycle windows (scale {scale:?})\n");
+    let mut t = TextTable::new(["app", "mean b/c", "peak b/c", "peak/mean"]);
+    for kind in AppKind::ALL {
+        let app = build_app(kind, scale, procs * 2);
+        let cfg = MachineConfig::new(SwitchModel::ExplicitSwitch, procs, 2).with_trace(true);
+        let fin = Machine::new(cfg, &app.grouped().0, app.shared.clone()).run().expect("run");
+        let trace = fin.result.trace.expect("trace");
+        let profile = BandwidthProfile::new(&trace, 200, procs as u64);
+        t.row([
+            kind.name().to_string(),
+            format!("{:.2}", profile.mean_bits_per_cycle()),
+            format!("{:.2}", profile.peak_bits_per_cycle()),
+            format!("{:.1}x", profile.burstiness()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\n(the paper's channel-width caveat, quantified: peak demand is several times the mean)");
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 2: efficiency vs processors on the ideal (zero
+//! latency) shared-memory machine.
+//!
+//! Usage: `cargo run --release -p mtsim-bench --bin fig2 [--scale tiny|small|full]`
+
+use mtsim_apps::Scale;
+use mtsim_bench::report::{pct, TextTable};
+use mtsim_bench::{experiments, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let procs: &[usize] = match scale {
+        Scale::Tiny => &[1, 2, 4, 8],
+        Scale::Small => &[1, 2, 4, 8, 16, 32],
+        Scale::Full => &[1, 2, 4, 8, 16, 32, 64, 128],
+    };
+    println!("Figure 2: efficiency on an ideal shared-memory machine (scale {scale:?})\n");
+    let mut t = TextTable::new(
+        std::iter::once("app".to_string()).chain(procs.iter().map(|p| format!("P={p}"))),
+    );
+    for (app, pts) in experiments::fig2(scale, procs) {
+        t.row(
+            std::iter::once(app.name().to_string())
+                .chain(pts.iter().map(|pt| pct(pt.efficiency))),
+        );
+    }
+    print!("{}", t.render());
+    println!("\n(paper: fixed-size efficiency decays with P; water is erratic under its static balance)");
+}

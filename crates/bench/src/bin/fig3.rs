@@ -1,0 +1,29 @@
+//! Regenerates Figure 3: sieve under switch-on-load multithreading —
+//! efficiency vs processors for several multithreading levels, plus the
+//! ideal curve.
+//!
+//! Usage: `cargo run --release -p mtsim-bench --bin fig3 [--scale tiny|small|full]`
+
+use mtsim_apps::Scale;
+use mtsim_bench::report::{pct, TextTable};
+use mtsim_bench::{experiments, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let (levels, procs): (&[usize], &[usize]) = match scale {
+        Scale::Tiny => (&[1, 2, 4], &[1, 2, 4]),
+        Scale::Small => (&[1, 2, 4, 6, 8, 12, 16, 24], &[1, 2, 4, 8]),
+        Scale::Full => (&[1, 2, 4, 6, 8, 12, 16, 24, 32], &[1, 2, 4, 8, 16]),
+    };
+    println!("Figure 3: sieve, switch-on-load, 200-cycle latency (scale {scale:?})\n");
+    let mut t = TextTable::new(
+        std::iter::once("curve".to_string()).chain(procs.iter().map(|p| format!("P={p}"))),
+    );
+    for (label, pts) in experiments::fig3(scale, levels, procs) {
+        t.row(
+            std::iter::once(label).chain(pts.iter().map(|pt| pct(pt.efficiency))),
+        );
+    }
+    print!("{}", t.render());
+    println!("\n(paper: T=1 runs at 9%; near-100% efficiency from T=12)");
+}

@@ -1,0 +1,27 @@
+//! The title claim: how efficiency degrades as the memory round trip grows
+//! from 50 to 800 cycles, per model, at a fixed multithreading level.
+//!
+//! Usage: `cargo run --release -p mtsim-bench --bin latency [--scale tiny|small|full]`
+
+use mtsim_apps::AppKind;
+use mtsim_bench::experiments::{latency_sweep, LATENCY_MODELS};
+use mtsim_bench::report::{pct, TextTable};
+use mtsim_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    let (procs, t) = (2, 8);
+    println!("Latency tolerance: ugray, {procs} procs x {t} threads (scale {scale:?})\n");
+    let mut table = TextTable::new(
+        std::iter::once("latency".to_string())
+            .chain(LATENCY_MODELS.iter().map(|m| m.to_string())),
+    );
+    for row in latency_sweep(AppKind::Ugray, scale, procs, t, &[50, 100, 200, 400, 800]) {
+        table.row(
+            std::iter::once(row.latency.to_string())
+                .chain(row.efficiency.iter().map(|&e| pct(e))),
+        );
+    }
+    print!("{}", table.render());
+    println!("\n(paper: grouping lets a small thread count tolerate hundreds of cycles)");
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 1: the application inventory (sizes and serial
+//! ideal-machine cycle counts).
+//!
+//! Usage: `cargo run --release -p mtsim-bench --bin table1 [--scale tiny|small|full]`
+
+use mtsim_bench::report::TextTable;
+use mtsim_bench::{experiments, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 1: Parallel Applications (scale {scale:?})\n");
+    let mut t = TextTable::new(["app", "static insts", "serial cycles", "shared reads", "description"]);
+    for row in experiments::table1(scale) {
+        t.row([
+            row.app.name().to_string(),
+            row.static_insts.to_string(),
+            row.serial_cycles.to_string(),
+            row.shared_reads.to_string(),
+            row.app.description().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\n(paper: sieve 106M, blkmat 87M, sor 258M, ugray 1353M, water 1082M, locus 665M, mp3d 192M cycles at full 1992 sizes)");
+}

@@ -1,0 +1,43 @@
+//! # mtsim-bench
+//!
+//! The evaluation harness: one function per table/figure of Boothe &
+//! Ranade (ISCA 1992), each with a `--bin` that prints the paper-style
+//! rows (see `src/bin/`) and a Criterion bench that exercises the same
+//! code path at reduced scale.
+//!
+//! | paper artifact | function | binary |
+//! |---|---|---|
+//! | Table 1 (applications) | [`experiments::table1`] | `table1` |
+//! | Figure 2 (ideal efficiency) | [`experiments::fig2`] | `fig2` |
+//! | Table 2 (run-lengths, switch-on-load) | [`experiments::run_length_table`] | `table2` |
+//! | Figure 3 (sieve multithreading) | [`experiments::fig3`] | `fig3` |
+//! | Figure 4 (sor grouping listings) | [`experiments::fig4`] | `fig4` |
+//! | Table 3 (switch-on-load MT levels) | [`experiments::mt_table`] | `table3` |
+//! | Table 4 (run-lengths after grouping) | [`experiments::run_length_table`] | `table4` |
+//! | Table 5 (explicit-switch MT levels + penalty) | [`experiments::mt_table`], [`experiments::reorganization_penalty`] | `table5` |
+//! | Table 6 (inter-block grouping estimate) | [`experiments::table6`] | `table6` |
+//! | §6.1 bandwidth/hit-rate table | [`experiments::table7`] | `table7` |
+//! | Table 8 (conditional-switch MT levels) | [`experiments::mt_table`] | `table8` |
+//! | §6.2 forced-switch ablation | [`experiments::max_run_ablation`] | `ablation` |
+
+pub mod experiments;
+pub mod report;
+
+use mtsim_apps::Scale;
+
+/// Parses `--scale tiny|small|full` from command-line arguments
+/// (default `small`).
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--scale" {
+            return match w[1].as_str() {
+                "tiny" => Scale::Tiny,
+                "small" => Scale::Small,
+                "full" => Scale::Full,
+                other => panic!("unknown scale '{other}' (expected tiny|small|full)"),
+            };
+        }
+    }
+    Scale::Small
+}

@@ -1,0 +1,104 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple aligned-column text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> TextTable {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut TextTable {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for c in 0..cols {
+            width[c] = self.header[c].len();
+            for r in &self.rows {
+                width[c] = width[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], width: &[usize], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.len()..width[c] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.header, &width, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            line(r, &width, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats an efficiency as a percentage with no decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// Formats an `Option<usize>` multithreading level (`-` when the target
+/// was not reached, as in the paper's tables).
+pub fn level(x: Option<usize>) -> String {
+    match x {
+        Some(t) => t.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["app", "mean"]);
+        t.row(["sieve", "36.2"]);
+        t.row(["blkmat", "120.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("app"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("blkmat"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        TextTable::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.805), "80%");
+        assert_eq!(level(Some(7)), "7");
+        assert_eq!(level(None), "-");
+    }
+}

@@ -1,0 +1,272 @@
+//! `mtsim` — command-line driver for the simulator.
+//!
+//! ```text
+//! mtsim run <app> [--model M] [-p N] [-t N] [--scale S] [--latency N]
+//!            [--max-run N|off] [--priority] [--estimate] [--stats]
+//! mtsim list
+//! mtsim disasm <app> [--grouped] [--scale S]
+//! mtsim models
+//! mtsim compile <file.mtc> [-t N] [--grouped]
+//! mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! mtsim run sor --model explicit-switch -p 4 -t 8 --stats
+//! mtsim disasm sor --grouped | head -40
+//! ```
+
+use mtsim_apps::{build_app, run_app, AppKind, Scale};
+use mtsim_core::{MachineConfig, SwitchModel};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats]\n\napps: {}\nmodels: {}",
+        AppKind::ALL.map(|a| a.name()).join(", "),
+        SwitchModel::ALL.map(|m| m.name()).join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_app(s: &str) -> AppKind {
+    AppKind::ALL.into_iter().find(|a| a.name() == s).unwrap_or_else(|| {
+        eprintln!("unknown app '{s}'");
+        usage()
+    })
+}
+
+fn parse_model(s: &str) -> SwitchModel {
+    SwitchModel::ALL.into_iter().find(|m| m.name() == s).unwrap_or_else(|| {
+        eprintln!("unknown model '{s}'");
+        usage()
+    })
+}
+
+fn parse_scale(s: &str) -> Scale {
+    match s {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "full" => Scale::Full,
+        _ => {
+            eprintln!("unknown scale '{s}'");
+            usage()
+        }
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(takes_value: &[&str]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = std::env::args().skip(1).peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                let value = if takes_value.contains(&name) {
+                    Some(it.next().unwrap_or_else(|| {
+                        eprintln!("flag --{name} needs a value");
+                        usage()
+                    }))
+                } else {
+                    None
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn main() {
+    let args = Args::parse(&["model", "p", "t", "scale", "latency", "max-run"]);
+    match args.positional.first().map(String::as_str) {
+        Some("list") => {
+            for a in AppKind::ALL {
+                println!("{:<8} {}", a.name(), a.description());
+            }
+        }
+        Some("models") => {
+            for m in SwitchModel::ALL {
+                println!("{}", m.name());
+            }
+        }
+        Some("disasm") => cmd_disasm(&args),
+        Some("run") => cmd_run(&args),
+        Some("compile") => cmd_compile(&args),
+        Some("run-file") => cmd_run_file(&args),
+        _ => usage(),
+    }
+}
+
+fn cmd_disasm(args: &Args) {
+    let Some(app_name) = args.positional.get(1) else { usage() };
+    let scale = args.get("scale").map(parse_scale).unwrap_or(Scale::Tiny);
+    let app = build_app(parse_app(app_name), scale, 1);
+    if args.has("grouped") {
+        let (grouped, stats) = app.grouped();
+        println!(
+            "; {} grouped: {} loads in {} groups (factor {:.2})",
+            app_name,
+            stats.grouped_loads,
+            stats.switches_inserted,
+            stats.grouping_factor()
+        );
+        print!("{}", grouped.listing());
+    } else {
+        print!("{}", app.program.listing());
+    }
+}
+
+fn read_and_compile(args: &Args, nthreads: usize) -> mtsim_lang::CompiledUnit {
+    let Some(path) = args.positional.get(1) else { usage() };
+    let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    match mtsim_lang::compile(path, &source, nthreads) {
+        Ok(unit) => unit,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_compile(args: &Args) {
+    let threads: usize = args.get("t").map(|v| v.parse().expect("bad -t")).unwrap_or(4);
+    let unit = read_and_compile(args, threads);
+    if args.has("grouped") {
+        let g = mtsim_opt::group_shared_loads(&unit.program);
+        println!(
+            "; grouped: {} loads in {} groups (factor {:.2})",
+            g.stats.grouped_loads,
+            g.stats.switches_inserted,
+            g.stats.grouping_factor()
+        );
+        print!("{}", g.program.listing());
+    } else {
+        for (name, base, words) in unit.layout.regions() {
+            println!("; shared {name} @ {base} ({words} words)");
+        }
+        print!("{}", unit.program.listing());
+    }
+}
+
+fn cmd_run_file(args: &Args) {
+    let model = args.get("model").map(parse_model).unwrap_or(SwitchModel::SwitchOnLoad);
+    let procs: usize = args.get("p").map(|v| v.parse().expect("bad -p")).unwrap_or(2);
+    let threads: usize = args.get("t").map(|v| v.parse().expect("bad -t")).unwrap_or(4);
+    let unit = read_and_compile(args, procs * threads);
+    let program = if model.uses_explicit_switch() {
+        mtsim_opt::group_shared_loads(&unit.program).program
+    } else {
+        unit.program.clone()
+    };
+    let mut cfg = MachineConfig::new(model, procs, threads);
+    cfg.max_cycles = 5_000_000_000;
+    let mem = mtsim_mem::SharedMemory::new(unit.shared_words());
+    let fin = match mtsim_core::Machine::new(cfg, &program, mem).run() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{model}: {} cycles, utilization {:.1}%, {} switches",
+        fin.result.cycles,
+        fin.result.utilization() * 100.0,
+        fin.result.switches_taken
+    );
+    for (name, base, words) in unit.layout.regions() {
+        let shown = words.min(8);
+        let vals: Vec<String> =
+            (0..shown).map(|k| fin.shared.read_i64(base + k).to_string()).collect();
+        let ell = if words > shown { ", ..." } else { "" };
+        println!("  {name:<12} [{}{}]", vals.join(", "), ell);
+    }
+    if args.has("stats") {
+        println!(
+            "  run-length mean {:.1}; {:.2} bits/cycle/proc",
+            fin.result.run_lengths.mean(),
+            fin.result.bits_per_cycle()
+        );
+    }
+}
+
+fn cmd_run(args: &Args) {
+    let Some(app_name) = args.positional.get(1) else { usage() };
+    let kind = parse_app(app_name);
+    let model = args.get("model").map(parse_model).unwrap_or(SwitchModel::SwitchOnLoad);
+    let procs: usize = args.get("p").map(|v| v.parse().expect("bad -p")).unwrap_or(4);
+    let threads: usize = args.get("t").map(|v| v.parse().expect("bad -t")).unwrap_or(4);
+    let scale = args.get("scale").map(parse_scale).unwrap_or(Scale::Small);
+
+    let mut cfg = MachineConfig::new(model, procs, threads);
+    if let Some(l) = args.get("latency") {
+        cfg.latency = l.parse().expect("bad --latency");
+    }
+    if let Some(mr) = args.get("max-run") {
+        cfg.max_run = if mr == "off" { None } else { Some(mr.parse().expect("bad --max-run")) };
+    }
+    cfg.priority_scheduling = args.has("priority");
+    cfg.interblock_estimate = args.has("estimate") && model == SwitchModel::ExplicitSwitch;
+    cfg.max_cycles = 5_000_000_000;
+
+    let app = build_app(kind, scale, procs * threads);
+    let r = match run_app(&app, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("{app_name} on {model}: {procs} procs x {threads} threads (scale {scale:?})");
+    println!("  cycles        {}", r.cycles);
+    println!("  instructions  {}", r.instructions);
+    println!("  utilization   {:.1}%", r.utilization() * 100.0);
+    println!("  result        verified against host reference");
+    if args.has("stats") {
+        println!(
+            "  switches      {} taken, {} skipped, {} forced",
+            r.switches_taken, r.switches_skipped, r.forced_switches
+        );
+        println!("  run-length    mean {:.1}", r.run_lengths.mean());
+        for (label, count) in r.run_lengths.buckets() {
+            println!("    {label:>8}  {count}");
+        }
+        println!("  grouping      {:.2} reads/switch-point", r.dynamic_grouping_factor());
+        println!("  bandwidth     {:.2} bits/cycle/proc (spin excluded)", r.bits_per_cycle());
+        println!(
+            "  messages      {} data, {} spin",
+            r.traffic.data_messages(),
+            r.traffic.spin_messages()
+        );
+        if let Some(c) = r.cache {
+            println!(
+                "  cache         {:.1}% hits ({} hits, {} misses, {} invalidations)",
+                c.hit_rate() * 100.0,
+                c.hits,
+                c.misses,
+                c.invalidations_received
+            );
+        }
+        println!("  scoreboard    {} stall cycles", r.scoreboard_stalls);
+    }
+}

@@ -1,0 +1,829 @@
+//! The discrete-event multiprocessor engine.
+//!
+//! Each processor interleaves its resident threads in round-robin order.
+//! Between shared accesses a processor executes private (local) code
+//! directly — nothing another processor does can affect it — so the event
+//! loop only needs to interleave processors at shared-access boundaries.
+//! Shared operations are applied to memory in global time order (ties
+//! broken deterministically by event sequence), which, under the paper's
+//! constant-latency network, is identical to memory-arrival order.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::model::{MachineConfig, SwitchModel};
+use crate::stats::{ProcStats, RunLengthHist, RunResult, SimError};
+use crate::thread::{PendingReg, Thread};
+use mtsim_asm::Program;
+use mtsim_isa::{cost, AccessHint, AluOp, BCond, CmpOp, FpuOp, Inst, Space};
+use mtsim_mem::{CoherentCaches, SharedMemory, TraceEvent, TraceKind, Traffic};
+
+#[derive(Debug, Default)]
+struct Counters {
+    taken: u64,
+    skipped: u64,
+    forced: u64,
+    reads: u64,
+    stalls: u64,
+    instructions: u64,
+}
+
+#[derive(Debug)]
+struct Proc {
+    queue: VecDeque<usize>,
+    current: Option<usize>,
+    time: u64,
+    stats: ProcStats,
+}
+
+enum Outcome {
+    Continue,
+    Yield { wake: u64 },
+    Halt,
+}
+
+enum StepOut {
+    Reschedule(u64),
+    Done,
+    Watchdog,
+}
+
+/// A configured machine ready to run one program to completion.
+///
+/// # Example
+///
+/// ```
+/// use mtsim_asm::ProgramBuilder;
+/// use mtsim_core::{Machine, MachineConfig, SwitchModel};
+/// use mtsim_mem::SharedMemory;
+///
+/// // Each thread adds its id into a shared counter.
+/// let mut b = ProgramBuilder::new("count");
+/// b.fetch_add_discard(b.const_i(0), b.tid() + 1, mtsim_isa::AccessHint::Data);
+/// let prog = b.finish();
+///
+/// let config = MachineConfig::new(SwitchModel::SwitchOnLoad, 2, 2);
+/// let run = Machine::new(config, &prog, SharedMemory::new(1)).run().unwrap();
+/// assert_eq!(run.shared.read_i64(0), 1 + 2 + 3 + 4);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    program: Program,
+    shared: SharedMemory,
+    threads: Vec<Thread>,
+    procs: Vec<Proc>,
+    caches: Option<CoherentCaches>,
+    traffic: Traffic,
+    run_lengths: RunLengthHist,
+    counters: Counters,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+/// A completed run: statistics plus the final shared-memory image (for
+/// result verification).
+#[derive(Debug)]
+pub struct FinishedRun {
+    /// Simulation statistics.
+    pub result: RunResult,
+    /// Shared memory at completion.
+    pub shared: SharedMemory,
+}
+
+impl Machine {
+    /// Builds a machine running `program` on every thread over `shared`.
+    ///
+    /// Thread ids are assigned contiguously per processor: processor `p`
+    /// hosts threads `p*T .. (p+1)*T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`MachineConfig::validate`]).
+    pub fn new(config: MachineConfig, program: &Program, shared: SharedMemory) -> Machine {
+        config.validate();
+        let nthreads = config.total_threads();
+        let local_words = config.local_mem_words.max(program.local_words());
+        let threads: Vec<Thread> = (0..nthreads)
+            .map(|tid| Thread::new(tid as i64, nthreads as i64, local_words))
+            .collect();
+        let procs = (0..config.processors)
+            .map(|p| Proc {
+                queue: (p * config.threads_per_proc..(p + 1) * config.threads_per_proc).collect(),
+                current: None,
+                time: 0,
+                stats: ProcStats::default(),
+            })
+            .collect();
+        let caches = config
+            .model
+            .uses_cache()
+            .then(|| CoherentCaches::new(config.processors, config.cache));
+        let collect_trace = config.collect_trace;
+        Machine {
+            config,
+            program: program.clone(),
+            shared,
+            threads,
+            procs,
+            caches,
+            traffic: Traffic::new(),
+            run_lengths: RunLengthHist::new(),
+            counters: Counters::default(),
+            trace: collect_trace.then(Vec::new),
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Runs all threads to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Watchdog`] if the configured cycle limit
+    /// elapses first (e.g. a deadlocked barrier).
+    pub fn run(mut self) -> Result<FinishedRun, SimError> {
+        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        for p in 0..self.procs.len() {
+            heap.push(Reverse((0, seq, p)));
+            seq += 1;
+        }
+        while let Some(Reverse((t, _, p))) = heap.pop() {
+            self.procs[p].time = self.procs[p].time.max(t);
+            let peek = heap.peek().map(|r| r.0 .0).unwrap_or(u64::MAX);
+            match self.step_proc(p, peek) {
+                StepOut::Reschedule(at) => {
+                    heap.push(Reverse((at, seq, p)));
+                    seq += 1;
+                }
+                StepOut::Done => {}
+                StepOut::Watchdog => {
+                    let halted = self.threads.iter().filter(|t| t.halted).count();
+                    return Err(SimError::Watchdog {
+                        max_cycles: self.config.max_cycles,
+                        halted_threads: halted,
+                        total_threads: self.threads.len(),
+                    });
+                }
+            }
+        }
+        debug_assert!(self.threads.iter().all(|t| t.halted), "event queue drained early");
+
+        let cycles = self.procs.iter().map(|p| p.stats.finish_time).max().unwrap_or(0);
+        let one_line = self
+            .threads
+            .iter()
+            .fold((0, 0), |(h, a), t| (h + t.one_line.hits(), a + t.one_line.accesses()));
+        let result = RunResult {
+            cycles,
+            per_proc: self.procs.iter().map(|p| p.stats).collect(),
+            run_lengths: self.run_lengths,
+            switches_taken: self.counters.taken,
+            switches_skipped: self.counters.skipped,
+            forced_switches: self.counters.forced,
+            reads_issued: self.counters.reads,
+            traffic: self.traffic,
+            cache: self.caches.as_ref().map(|c| c.total_stats()),
+            one_line,
+            scoreboard_stalls: self.counters.stalls,
+            instructions: self.counters.instructions,
+            trace: self.trace,
+        };
+        Ok(FinishedRun { result, shared: self.shared })
+    }
+
+    /// Executes processor `p` from its current time until it must hand
+    /// control back to the event loop.
+    fn step_proc(&mut self, p: usize, peek: u64) -> StepOut {
+        // Split borrows once for the whole batch.
+        let config = &self.config;
+        let program = &self.program;
+        let shared = &mut self.shared;
+        let threads = &mut self.threads;
+        let caches = &mut self.caches;
+        let traffic = &mut self.traffic;
+        let run_lengths = &mut self.run_lengths;
+        let counters = &mut self.counters;
+        let trace = &mut self.trace;
+        let proc = &mut self.procs[p];
+
+        loop {
+            if proc.time > config.max_cycles {
+                return StepOut::Watchdog;
+            }
+
+            // Pick a thread if none is running: first runnable in
+            // round-robin order.
+            if proc.current.is_none() {
+                if proc.queue.is_empty() {
+                    proc.stats.finish_time = proc.time;
+                    return StepOut::Done;
+                }
+                let now = proc.time;
+                // Round-robin over runnable threads; with priority
+                // scheduling enabled, a runnable higher-priority thread
+                // (e.g. one inside a critical region) is taken first.
+                let pick = if config.priority_scheduling {
+                    proc.queue
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &t)| threads[t].wake <= now)
+                        .max_by_key(|&(i, &t)| (threads[t].prio, std::cmp::Reverse(i)))
+                        .map(|(i, _)| i)
+                } else {
+                    proc.queue.iter().position(|&t| threads[t].wake <= now)
+                };
+                match pick {
+                    Some(i) => {
+                        proc.current = proc.queue.remove(i);
+                    }
+                    None => {
+                        let wake =
+                            proc.queue.iter().map(|&t| threads[t].wake).min().expect("nonempty");
+                        proc.stats.idle += wake - proc.time;
+                        proc.time = wake;
+                        return StepOut::Reschedule(wake);
+                    }
+                }
+            }
+            let tid = proc.current.expect("current thread");
+            let inst = *program.inst(threads[tid].pc);
+
+            // Event boundary: shared accesses must execute in global time
+            // order. If we have run ahead of the next event, hand control
+            // back and resume when we are earliest again.
+            if inst.is_shared_access() && proc.time > peek {
+                return StepOut::Reschedule(proc.time);
+            }
+
+            // Split-phase scoreboard: reading an in-flight value.
+            if !threads[tid].pending.is_empty() {
+                let th = &mut threads[tid];
+                if proc.time >= th.outstanding {
+                    th.pending.clear();
+                } else {
+                    let iu = inst.int_uses();
+                    let fu = inst.fp_uses();
+                    if let Some(ready) = th.pending_ready_for(proc.time, &iu, &fu) {
+                        match config.model {
+                            SwitchModel::SwitchOnUse | SwitchModel::SwitchOnUseMiss => {
+                                // This *is* the model's switch point.
+                                let overhead = if config.model.pays_switch_cost() {
+                                    config.switch_cost
+                                } else {
+                                    0
+                                };
+                                proc.stats.overhead += overhead;
+                                proc.time += overhead;
+                                yield_thread(proc, threads, tid, ready, run_lengths, counters);
+                                continue;
+                            }
+                            _ => {
+                                // Contract violation (or deliberate use
+                                // before switch): stall in place.
+                                let wait = ready - proc.time;
+                                proc.stats.stall += wait;
+                                counters.stalls += wait;
+                                proc.time = ready;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Execute one instruction.
+            let outcome = exec(
+                config,
+                inst,
+                p,
+                tid,
+                &mut threads[tid],
+                proc,
+                shared,
+                caches,
+                traffic,
+                counters,
+                trace,
+            );
+            match outcome {
+                Outcome::Continue => {
+                    if config.model == SwitchModel::SwitchEveryCycle {
+                        let wake = proc.time;
+                        yield_thread(proc, threads, tid, wake, run_lengths, counters);
+                    }
+                }
+                Outcome::Yield { wake } => {
+                    if config.model.pays_switch_cost() {
+                        proc.stats.overhead += config.switch_cost;
+                        proc.time += config.switch_cost;
+                    }
+                    yield_thread(proc, threads, tid, wake, run_lengths, counters);
+                }
+                Outcome::Halt => {
+                    let th = &mut threads[tid];
+                    if th.run_cycles > 0 {
+                        run_lengths.record(th.run_cycles);
+                        th.run_cycles = 0;
+                    }
+                    th.halted = true;
+                    proc.current = None;
+                }
+            }
+        }
+    }
+}
+
+/// Rotates `tid` to the back of the round-robin queue.
+fn yield_thread(
+    proc: &mut Proc,
+    threads: &mut [Thread],
+    tid: usize,
+    wake: u64,
+    run_lengths: &mut RunLengthHist,
+    counters: &mut Counters,
+) {
+    let th = &mut threads[tid];
+    if th.run_cycles > 0 {
+        run_lengths.record(th.run_cycles);
+        th.run_cycles = 0;
+    }
+    th.wake = wake;
+    proc.queue.push_back(tid);
+    proc.current = None;
+    counters.taken += 1;
+}
+
+/// Issues a blocking shared read under the configured model.
+#[allow(clippy::too_many_arguments)]
+fn read_dispatch(
+    config: &MachineConfig,
+    th: &mut Thread,
+    counters: &mut Counters,
+    dests: &[(bool, u8)],
+    cache_hit: bool,
+    oneline_hit: bool,
+    reply: u64,
+) -> Outcome {
+    counters.reads += 1;
+    match config.model {
+        // Zero-latency rotation: free, and keeps round-robin fairness so
+        // same-processor spin loops cannot starve their peers.
+        SwitchModel::Ideal => Outcome::Yield { wake: reply },
+        SwitchModel::SwitchEveryCycle | SwitchModel::SwitchOnLoad => {
+            Outcome::Yield { wake: reply }
+        }
+        SwitchModel::SwitchOnUse => {
+            push_pending(th, dests, reply);
+            Outcome::Continue
+        }
+        SwitchModel::ExplicitSwitch => {
+            th.group_reads += 1;
+            if config.interblock_estimate && oneline_hit {
+                // §5.2: this load would have been grouped with the
+                // preceding reference — its latency is already covered by
+                // the previous group's switch.
+                Outcome::Continue
+            } else {
+                if config.interblock_estimate {
+                    th.group_all_oneline = false;
+                }
+                push_pending(th, dests, reply);
+                Outcome::Continue
+            }
+        }
+        SwitchModel::SwitchOnMiss => {
+            if cache_hit {
+                Outcome::Continue
+            } else {
+                Outcome::Yield { wake: reply }
+            }
+        }
+        SwitchModel::SwitchOnUseMiss => {
+            if !cache_hit {
+                push_pending(th, dests, reply);
+            }
+            Outcome::Continue
+        }
+        SwitchModel::ConditionalSwitch => {
+            th.group_reads += 1;
+            if !cache_hit {
+                th.pending_miss = true;
+                push_pending(th, dests, reply);
+            }
+            Outcome::Continue
+        }
+    }
+}
+
+fn push_pending(th: &mut Thread, dests: &[(bool, u8)], reply: u64) {
+    for &(fp, idx) in dests {
+        th.pending.push(PendingReg { fp, idx, ready: reply });
+    }
+    th.outstanding = th.outstanding.max(reply);
+}
+
+/// Executes one instruction, advancing the processor clock.
+#[allow(clippy::too_many_arguments)]
+fn exec(
+    config: &MachineConfig,
+    inst: Inst,
+    p: usize,
+    tid: usize,
+    th: &mut Thread,
+    proc: &mut Proc,
+    shared: &mut SharedMemory,
+    caches: &mut Option<CoherentCaches>,
+    traffic: &mut Traffic,
+    counters: &mut Counters,
+    trace: &mut Option<Vec<TraceEvent>>,
+) -> Outcome {
+    let record = |trace: &mut Option<Vec<TraceEvent>>, time: u64, kind: TraceKind, addr: u64, spin: bool| {
+        if let Some(tr) = trace.as_mut() {
+            tr.push(TraceEvent { time, proc: p as u32, thread: tid as u32, kind, addr, spin });
+        }
+    };
+    let t0 = proc.time;
+    let c = cost::cycles(&inst) as u64;
+    proc.time += c;
+    proc.stats.busy += c;
+    th.run_cycles += c;
+    counters.instructions += 1;
+    let latency = if config.model == SwitchModel::Ideal { 0 } else { config.latency };
+    let reply = t0 + latency;
+    th.pc += 1;
+
+    // Overwriting a register kills any in-flight value headed for it.
+    if !th.pending.is_empty() {
+        if let Some(rd) = inst.int_def() {
+            th.kill_pending(false, rd.index() as u8);
+        }
+        for fd in inst.fp_defs() {
+            th.kill_pending(true, fd.index() as u8);
+        }
+    }
+
+    match inst {
+        Inst::Alu { op, rd, rs, rt } => {
+            let v = alu(op, th.rget(rs), th.rget(rt));
+            th.rset(rd, v);
+            Outcome::Continue
+        }
+        Inst::AluI { op, rd, rs, imm } => {
+            let v = alu(op, th.rget(rs), imm);
+            th.rset(rd, v);
+            Outcome::Continue
+        }
+        Inst::Fpu { op, fd, fs, ft } => {
+            let a = th.fget(fs);
+            let b = th.fget(ft);
+            let v = match op {
+                FpuOp::Add => a + b,
+                FpuOp::Sub => a - b,
+                FpuOp::Mul => a * b,
+                FpuOp::Div => a / b,
+                FpuOp::Min => a.min(b),
+                FpuOp::Max => a.max(b),
+            };
+            th.fset(fd, v);
+            Outcome::Continue
+        }
+        Inst::FpuCmp { op, rd, fs, ft } => {
+            let a = th.fget(fs);
+            let b = th.fget(ft);
+            let v = match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+            };
+            th.rset(rd, v as i64);
+            Outcome::Continue
+        }
+        Inst::FLi { fd, val } => {
+            th.fset(fd, val);
+            Outcome::Continue
+        }
+        Inst::CvtIF { fd, rs } => {
+            th.fset(fd, th.rget(rs) as f64);
+            Outcome::Continue
+        }
+        Inst::CvtFI { rd, fs } => {
+            th.rset(rd, th.fget(fs) as i64);
+            Outcome::Continue
+        }
+        Inst::MovIF { fd, rs } => {
+            th.fset(fd, f64::from_bits(th.rget(rs) as u64));
+            Outcome::Continue
+        }
+        Inst::MovFI { rd, fs } => {
+            th.rset(rd, th.fget(fs).to_bits() as i64);
+            Outcome::Continue
+        }
+        Inst::FSqrt { fd, fs } => {
+            th.fset(fd, th.fget(fs).sqrt());
+            Outcome::Continue
+        }
+
+        Inst::Load { space: Space::Local, rd, base, offset, .. } => {
+            let v = th.local_read(th.ea(base, offset)) as i64;
+            th.rset(rd, v);
+            Outcome::Continue
+        }
+        Inst::Store { space: Space::Local, rs, base, offset, .. } => {
+            let a = th.ea(base, offset);
+            th.local_write(a, th.rget(rs) as u64);
+            Outcome::Continue
+        }
+        Inst::FLoad { space: Space::Local, fd, base, offset } => {
+            let v = f64::from_bits(th.local_read(th.ea(base, offset)));
+            th.fset(fd, v);
+            Outcome::Continue
+        }
+        Inst::FStore { space: Space::Local, fs, base, offset } => {
+            let a = th.ea(base, offset);
+            th.local_write(a, th.fget(fs).to_bits());
+            Outcome::Continue
+        }
+        Inst::LoadPair { space: Space::Local, fd1, fd2, base, offset } => {
+            let a = th.ea(base, offset);
+            let v1 = f64::from_bits(th.local_read(a));
+            let v2 = f64::from_bits(th.local_read(a + 1));
+            th.fset(fd1, v1);
+            th.fset(fd2, v2);
+            Outcome::Continue
+        }
+        Inst::StorePair { space: Space::Local, fs1, fs2, base, offset } => {
+            let a = th.ea(base, offset);
+            th.local_write(a, th.fget(fs1).to_bits());
+            th.local_write(a + 1, th.fget(fs2).to_bits());
+            Outcome::Continue
+        }
+
+        Inst::Load { space: Space::Shared, rd, base, offset, hint } => {
+            let addr = th.ea(base, offset);
+            let spin = hint == AccessHint::Spin;
+            // Spin-loop polls re-read one address forever. Counting them as
+            // one-line hits would let the §5.2 estimator skip every switch
+            // in the loop, and letting them hit the cache would let a
+            // spinner monopolize its processor under the cache models —
+            // both starve the thread being waited on. Real machines need a
+            // non-spinning primitive here (paper footnote 2); we model the
+            // poll as always going to memory.
+            let oneline_hit = if spin { false } else { th.one_line.access(addr) };
+            let cache_hit = if spin {
+                traffic.record_load(1, true);
+                false
+            } else {
+                lookup_cache(caches, p, addr, config, traffic, spin)
+            };
+            record(trace, t0, TraceKind::Read, addr, spin);
+            th.rset(rd, shared.read(addr) as i64);
+            let dests = [(false, rd.index() as u8)];
+            let dests: &[(bool, u8)] = if rd.is_zero() { &[] } else { &dests };
+            read_dispatch(config, th, counters, dests, cache_hit, oneline_hit, reply)
+        }
+        Inst::FLoad { space: Space::Shared, fd, base, offset } => {
+            let addr = th.ea(base, offset);
+            let oneline_hit = th.one_line.access(addr);
+            let cache_hit = lookup_cache(caches, p, addr, config, traffic, false);
+            record(trace, t0, TraceKind::Read, addr, false);
+            th.fset(fd, shared.read_f64(addr));
+            let dests = [(true, fd.index() as u8)];
+            read_dispatch(config, th, counters, &dests, cache_hit, oneline_hit, reply)
+        }
+        Inst::LoadPair { space: Space::Shared, fd1, fd2, base, offset } => {
+            let addr = th.ea(base, offset);
+            let oneline_hit = th.one_line.access(addr);
+            let cache_hit = if let Some(c) = caches.as_mut() {
+                let h1 = c.load(p, addr);
+                let h2 = c.load(p, addr + 1);
+                if !h1 {
+                    traffic.record_line_fill(config.cache.line_words, false);
+                }
+                if !h2 && addr / config.cache.line_words != (addr + 1) / config.cache.line_words {
+                    traffic.record_line_fill(config.cache.line_words, false);
+                }
+                h1 && h2
+            } else {
+                traffic.record_load(2, false);
+                false
+            };
+            record(trace, t0, TraceKind::ReadPair, addr, false);
+            th.fset(fd1, shared.read_f64(addr));
+            th.fset(fd2, shared.read_f64(addr + 1));
+            let dests = [(true, fd1.index() as u8), (true, fd2.index() as u8)];
+            read_dispatch(config, th, counters, &dests, cache_hit, oneline_hit, reply)
+        }
+        Inst::FetchAdd { rd, rs, base, offset, hint } => {
+            let addr = th.ea(base, offset);
+            let spin = hint == AccessHint::Spin;
+            let inc = th.rget(rs);
+            traffic.record_fetch_add(spin);
+            if let Some(c) = caches.as_mut() {
+                let inv = c.store(p, addr);
+                traffic.record_invalidations(inv);
+            }
+            record(trace, t0, TraceKind::FetchAdd, addr, spin);
+            let old = shared.fetch_add(addr, inc) as i64;
+            th.rset(rd, old);
+            if rd.is_zero() {
+                // Fire-and-forget arrival (barrier-style): no reply awaited.
+                match config.model {
+                    SwitchModel::SwitchEveryCycle => Outcome::Yield { wake: proc.time },
+                    _ => Outcome::Continue,
+                }
+            } else {
+                let dests = [(false, rd.index() as u8)];
+                // Fetch-and-add always goes to memory: never a cache hit.
+                read_dispatch(config, th, counters, &dests, false, false, reply)
+            }
+        }
+
+        Inst::Store { space: Space::Shared, rs, base, offset, hint } => {
+            let addr = th.ea(base, offset);
+            let spin = hint == AccessHint::Spin;
+            shared_store(config, p, addr, caches, traffic, spin, 1);
+            record(trace, t0, TraceKind::Write, addr, spin);
+            shared.write(addr, th.rget(rs) as u64);
+            store_outcome(config, proc)
+        }
+        Inst::FStore { space: Space::Shared, fs, base, offset } => {
+            let addr = th.ea(base, offset);
+            shared_store(config, p, addr, caches, traffic, false, 1);
+            record(trace, t0, TraceKind::Write, addr, false);
+            shared.write_f64(addr, th.fget(fs));
+            store_outcome(config, proc)
+        }
+        Inst::StorePair { space: Space::Shared, fs1, fs2, base, offset } => {
+            let addr = th.ea(base, offset);
+            record(trace, t0, TraceKind::WritePair, addr, false);
+            shared_store(config, p, addr, caches, traffic, false, 2);
+            if let Some(c) = caches.as_mut() {
+                if addr / config.cache.line_words != (addr + 1) / config.cache.line_words {
+                    let inv = c.store(p, addr + 1);
+                    traffic.record_invalidations(inv);
+                }
+            }
+            shared.write_f64(addr, th.fget(fs1));
+            shared.write_f64(addr + 1, th.fget(fs2));
+            store_outcome(config, proc)
+        }
+
+        Inst::Branch { cond, rs, rt, target } => {
+            let a = th.rget(rs);
+            let b = th.rget(rt);
+            let take = match cond {
+                BCond::Eq => a == b,
+                BCond::Ne => a != b,
+                BCond::Lt => a < b,
+                BCond::Le => a <= b,
+                BCond::Gt => a > b,
+                BCond::Ge => a >= b,
+            };
+            if take {
+                th.pc = target.pc();
+            }
+            Outcome::Continue
+        }
+        Inst::Jump { target } => {
+            th.pc = target.pc();
+            Outcome::Continue
+        }
+        Inst::SetPrio { level } => {
+            th.prio = level;
+            Outcome::Continue
+        }
+        Inst::Switch => switch_outcome(config, th, proc, counters),
+        Inst::Halt => Outcome::Halt,
+        Inst::Nop => Outcome::Continue,
+    }
+}
+
+fn alu(op: AluOp, a: i64, b: i64) -> i64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => ((a as u64) << (b as u64 & 63)) as i64,
+        AluOp::Srl => ((a as u64) >> (b as u64 & 63)) as i64,
+        AluOp::Sra => a >> (b as u64 & 63),
+        AluOp::Slt => (a < b) as i64,
+        AluOp::Sle => (a <= b) as i64,
+        AluOp::Seq => (a == b) as i64,
+        AluOp::Sne => (a != b) as i64,
+    }
+}
+
+/// Cache lookup + fill traffic for a single-word shared load. Returns the
+/// hit flag (always `false` without caches, where the plain load messages
+/// are recorded instead).
+fn lookup_cache(
+    caches: &mut Option<CoherentCaches>,
+    p: usize,
+    addr: u64,
+    config: &MachineConfig,
+    traffic: &mut Traffic,
+    spin: bool,
+) -> bool {
+    match caches.as_mut() {
+        Some(c) => {
+            let hit = c.load(p, addr);
+            if !hit {
+                traffic.record_line_fill(config.cache.line_words, spin);
+            }
+            hit
+        }
+        None => {
+            traffic.record_load(1, spin);
+            false
+        }
+    }
+}
+
+fn shared_store(
+    config: &MachineConfig,
+    p: usize,
+    addr: u64,
+    caches: &mut Option<CoherentCaches>,
+    traffic: &mut Traffic,
+    spin: bool,
+    words: u64,
+) {
+    let _ = config;
+    traffic.record_store(words, spin);
+    if let Some(c) = caches.as_mut() {
+        let inv = c.store(p, addr);
+        traffic.record_invalidations(inv);
+    }
+}
+
+fn store_outcome(config: &MachineConfig, proc: &Proc) -> Outcome {
+    match config.model {
+        SwitchModel::SwitchEveryCycle => Outcome::Yield { wake: proc.time },
+        _ => Outcome::Continue,
+    }
+}
+
+fn switch_outcome(
+    config: &MachineConfig,
+    th: &mut Thread,
+    proc: &Proc,
+    counters: &mut Counters,
+) -> Outcome {
+    match config.model {
+        SwitchModel::ExplicitSwitch => {
+            if config.interblock_estimate && th.group_reads > 0 && th.group_all_oneline {
+                counters.skipped += 1;
+                th.clear_group();
+                th.outstanding = 0;
+                return Outcome::Continue;
+            }
+            let wake = th.outstanding.max(proc.time);
+            th.clear_group();
+            th.outstanding = 0;
+            Outcome::Yield { wake }
+        }
+        SwitchModel::ConditionalSwitch => {
+            if th.pending_miss {
+                let wake = th.outstanding.max(proc.time);
+                th.clear_group();
+                th.outstanding = 0;
+                Outcome::Yield { wake }
+            } else if config.max_run.is_some_and(|m| th.run_cycles >= m) {
+                counters.forced += 1;
+                th.clear_group();
+                th.outstanding = 0;
+                Outcome::Yield { wake: proc.time }
+            } else {
+                counters.skipped += 1;
+                th.clear_group();
+                th.outstanding = 0;
+                Outcome::Continue
+            }
+        }
+        // Under every other model the switch instruction is an ordinary
+        // 1-cycle instruction (the every-cycle model rotates regardless).
+        _ => Outcome::Continue,
+    }
+}

@@ -1,0 +1,297 @@
+//! Multithreading models (the paper's Figure 1 taxonomy) and machine
+//! configuration.
+
+use mtsim_mem::CacheParams;
+
+/// When a processor context-switches between its resident threads.
+///
+/// This is the paper's Figure 1 design space. The paper's evaluation
+/// concentrates on [`SwitchOnLoad`](SwitchModel::SwitchOnLoad) (§4),
+/// [`ExplicitSwitch`](SwitchModel::ExplicitSwitch) (§5) and
+/// [`ConditionalSwitch`](SwitchModel::ConditionalSwitch) (§6); the other
+/// variants are implemented for completeness and for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchModel {
+    /// Zero-latency shared memory, no context switching: the unbuildable
+    /// upper bound of the paper's Figure 2.
+    Ideal,
+    /// HEP/MASA style: yield after **every** instruction; a thread is not
+    /// re-runnable until its outstanding reference completes.
+    SwitchEveryCycle,
+    /// Yield on every shared load and fetch-and-add (§4's baseline).
+    SwitchOnLoad,
+    /// Split-phase: loads issue and execution continues; yield at the
+    /// first instruction that *uses* a still-pending value.
+    SwitchOnUse,
+    /// The paper's model (§5): loads issue and continue; the explicit
+    /// `Switch` instruction yields until **all** outstanding replies have
+    /// arrived. Requires code prepared by `mtsim_opt::group_shared_loads`.
+    ExplicitSwitch,
+    /// Per-processor cache; yield on a load that misses, paying
+    /// [`MachineConfig::switch_cost`] wasted pipeline cycles (the switch is
+    /// detected too late in the pipeline to be free).
+    SwitchOnMiss,
+    /// Split-phase plus cache: yield at the use of a value whose load
+    /// missed, with the same late-detection cost.
+    SwitchOnUseMiss,
+    /// The paper's cached model (§6): grouped code as in `ExplicitSwitch`,
+    /// but the `Switch` instruction yields only if a load of its group
+    /// missed the cache — or unconditionally once the thread has run for
+    /// [`MachineConfig::max_run`] cycles (the forced-switch flag that fixes
+    /// the ugray critical-section pathology of §6.2).
+    ConditionalSwitch,
+}
+
+impl SwitchModel {
+    /// True for the models that use the per-processor shared-data cache.
+    pub fn uses_cache(self) -> bool {
+        matches!(
+            self,
+            SwitchModel::SwitchOnMiss
+                | SwitchModel::SwitchOnUseMiss
+                | SwitchModel::ConditionalSwitch
+        )
+    }
+
+    /// True for the models that execute code prepared by the grouping pass
+    /// (i.e. that give the `Switch` instruction its special meaning).
+    pub fn uses_explicit_switch(self) -> bool {
+        matches!(self, SwitchModel::ExplicitSwitch | SwitchModel::ConditionalSwitch)
+    }
+
+    /// True for the models where the context switch is detected too late
+    /// in the pipeline to be free (cache-miss detection), costing
+    /// [`MachineConfig::switch_cost`] cycles per taken switch.
+    pub fn pays_switch_cost(self) -> bool {
+        matches!(self, SwitchModel::SwitchOnMiss | SwitchModel::SwitchOnUseMiss)
+    }
+
+    /// All models, in the order of the paper's Figure 1 discussion.
+    pub const ALL: [SwitchModel; 8] = [
+        SwitchModel::Ideal,
+        SwitchModel::SwitchEveryCycle,
+        SwitchModel::SwitchOnLoad,
+        SwitchModel::SwitchOnUse,
+        SwitchModel::ExplicitSwitch,
+        SwitchModel::SwitchOnMiss,
+        SwitchModel::SwitchOnUseMiss,
+        SwitchModel::ConditionalSwitch,
+    ];
+
+    /// Short display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SwitchModel::Ideal => "ideal",
+            SwitchModel::SwitchEveryCycle => "switch-every-cycle",
+            SwitchModel::SwitchOnLoad => "switch-on-load",
+            SwitchModel::SwitchOnUse => "switch-on-use",
+            SwitchModel::ExplicitSwitch => "explicit-switch",
+            SwitchModel::SwitchOnMiss => "switch-on-miss",
+            SwitchModel::SwitchOnUseMiss => "switch-on-use-miss",
+            SwitchModel::ConditionalSwitch => "conditional-switch",
+        }
+    }
+}
+
+impl std::fmt::Display for SwitchModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full machine configuration.
+///
+/// Defaults follow the paper: 200-cycle round-trip latency, zero-cost
+/// switches for the opcode-identified models, a 200-cycle forced-switch
+/// interval under `ConditionalSwitch`.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub processors: usize,
+    /// Threads per processor (the paper's "multithreading level").
+    pub threads_per_proc: usize,
+    /// Shared-memory round-trip latency in cycles.
+    pub latency: u64,
+    /// The context-switch model.
+    pub model: SwitchModel,
+    /// Cache geometry for the cache-based models (ignored otherwise).
+    pub cache: CacheParams,
+    /// Wasted pipeline cycles per taken switch for the miss-detected
+    /// models (`SwitchOnMiss`, `SwitchOnUseMiss`). The paper says
+    /// "several cycles"; default 4.
+    pub switch_cost: u64,
+    /// Forced-switch interval for `ConditionalSwitch` (paper §6.2 uses 200
+    /// cycles). `None` disables the forced switch (the ablation case).
+    pub max_run: Option<u64>,
+    /// Minimum words of private local memory per thread; the machine
+    /// allocates `max(this, program.local_words())`.
+    pub local_mem_words: u64,
+    /// Table 6 mode: consult a per-thread one-line 32-word cache and skip
+    /// a `Switch` whose whole group hit it (estimates inter-block grouping,
+    /// paper §5.2). Only meaningful with `ExplicitSwitch`.
+    pub interblock_estimate: bool,
+    /// Record every shared access into `RunResult::trace` (the paper's
+    /// trace-analysis methodology; consumed by `mtsim-trace`).
+    pub collect_trace: bool,
+    /// Honor `SetPrio` levels when choosing among runnable threads —
+    /// the paper's suggested critical-region priority scheduling (§6.2).
+    pub priority_scheduling: bool,
+    /// Watchdog: abort the run after this many cycles (deadlock guard).
+    pub max_cycles: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            processors: 1,
+            threads_per_proc: 1,
+            latency: 200,
+            model: SwitchModel::SwitchOnLoad,
+            cache: CacheParams::default(),
+            switch_cost: 4,
+            max_run: Some(200),
+            local_mem_words: 256,
+            interblock_estimate: false,
+            collect_trace: false,
+            priority_scheduling: false,
+            max_cycles: u64::MAX,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Convenience constructor: `processors × threads_per_proc` under
+    /// `model` with paper defaults for everything else.
+    pub fn new(model: SwitchModel, processors: usize, threads_per_proc: usize) -> MachineConfig {
+        MachineConfig { model, processors, threads_per_proc, ..MachineConfig::default() }
+    }
+
+    /// The ideal (zero-latency) machine of the paper's Figure 2.
+    pub fn ideal(processors: usize) -> MachineConfig {
+        MachineConfig {
+            model: SwitchModel::Ideal,
+            processors,
+            threads_per_proc: 1,
+            latency: 0,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Total thread count.
+    pub fn total_threads(&self) -> usize {
+        self.processors * self.threads_per_proc
+    }
+
+    /// Sets the round-trip latency (builder style).
+    pub fn with_latency(mut self, latency: u64) -> MachineConfig {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the cache geometry (builder style).
+    pub fn with_cache(mut self, cache: CacheParams) -> MachineConfig {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the forced-switch interval (builder style).
+    pub fn with_max_run(mut self, max_run: Option<u64>) -> MachineConfig {
+        self.max_run = max_run;
+        self
+    }
+
+    /// Enables the §5.2 inter-block grouping estimator (builder style).
+    pub fn with_interblock_estimate(mut self, on: bool) -> MachineConfig {
+        self.interblock_estimate = on;
+        self
+    }
+
+    /// Enables critical-region priority scheduling (builder style).
+    pub fn with_priority_scheduling(mut self, on: bool) -> MachineConfig {
+        self.priority_scheduling = on;
+        self
+    }
+
+    /// Enables shared-access trace collection (builder style).
+    pub fn with_trace(mut self, on: bool) -> MachineConfig {
+        self.collect_trace = on;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero processors/threads, or an inter-block estimate
+    /// request on a model other than `ExplicitSwitch`.
+    pub fn validate(&self) {
+        assert!(self.processors > 0, "need at least one processor");
+        assert!(self.threads_per_proc > 0, "need at least one thread per processor");
+        if self.model.uses_cache() {
+            self.cache.validate();
+            assert!(self.processors <= 128, "cache directory supports at most 128 processors");
+        }
+        if self.interblock_estimate {
+            assert_eq!(
+                self.model,
+                SwitchModel::ExplicitSwitch,
+                "interblock_estimate only applies to the explicit-switch model"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_classification() {
+        assert!(SwitchModel::ConditionalSwitch.uses_cache());
+        assert!(!SwitchModel::ExplicitSwitch.uses_cache());
+        assert!(SwitchModel::ExplicitSwitch.uses_explicit_switch());
+        assert!(SwitchModel::SwitchOnMiss.pays_switch_cost());
+        assert!(!SwitchModel::SwitchOnLoad.pays_switch_cost());
+        assert_eq!(SwitchModel::ALL.len(), 8);
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let names: std::collections::HashSet<_> =
+            SwitchModel::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), SwitchModel::ALL.len());
+    }
+
+    #[test]
+    fn default_config_is_paper_config() {
+        let c = MachineConfig::default();
+        assert_eq!(c.latency, 200);
+        assert_eq!(c.max_run, Some(200));
+        c.validate();
+    }
+
+    #[test]
+    fn ideal_config() {
+        let c = MachineConfig::ideal(64);
+        assert_eq!(c.latency, 0);
+        assert_eq!(c.total_threads(), 64);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "interblock_estimate")]
+    fn estimate_requires_explicit_switch() {
+        let c = MachineConfig {
+            interblock_estimate: true,
+            ..MachineConfig::new(SwitchModel::SwitchOnLoad, 1, 1)
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let c = MachineConfig { processors: 0, ..MachineConfig::default() };
+        c.validate();
+    }
+}

@@ -1,0 +1,285 @@
+//! Run statistics: run-length histograms (Tables 2 and 4), processor
+//! utilization, context-switch and grouping tallies.
+
+use mtsim_mem::{CacheStats, TraceEvent, Traffic};
+
+/// Histogram of run-lengths — the cycles a thread executes between
+/// context switches (paper §4.1). Buckets are powers of two:
+/// `1, 2, 3–4, 5–8, 9–16, …, 2¹⁵+`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunLengthHist {
+    buckets: [u64; 17],
+    count: u64,
+    total_cycles: u64,
+}
+
+impl RunLengthHist {
+    /// An empty histogram.
+    pub fn new() -> RunLengthHist {
+        RunLengthHist::default()
+    }
+
+    /// Records one run of `cycles` busy cycles.
+    pub fn record(&mut self, cycles: u64) {
+        let b = if cycles <= 1 {
+            0
+        } else {
+            let lz = 64 - (cycles - 1).leading_zeros() as usize;
+            lz.min(16)
+        };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.total_cycles += cycles;
+    }
+
+    /// Number of runs recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean run-length in cycles (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.count as f64
+        }
+    }
+
+    /// Total busy cycles over all runs.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Fraction of runs that fall in the bucket containing `len` (e.g. the
+    /// paper's "39% of the run-lengths are 1 cycle").
+    pub fn fraction_at(&self, len: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let b = if len <= 1 {
+            0
+        } else {
+            (64 - (len - 1).leading_zeros() as usize).min(16)
+        };
+        self.buckets[b] as f64 / self.count as f64
+    }
+
+    /// Iterates `(bucket_label, count)` for non-empty buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (String, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(b, &c)| {
+            let label = match b {
+                0 => "1".to_string(),
+                1 => "2".to_string(),
+                16 => format!("{}+", (1u64 << 15) + 1),
+                _ => format!("{}-{}", (1u64 << (b - 1)) + 1, 1u64 << b),
+            };
+            (label, c)
+        })
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &RunLengthHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_cycles += other.total_cycles;
+    }
+}
+
+/// Per-processor cycle accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Cycles spent executing instructions.
+    pub busy: u64,
+    /// Cycles spent with no runnable thread.
+    pub idle: u64,
+    /// Cycles wasted on context-switch overhead (miss-detected models).
+    pub overhead: u64,
+    /// Cycles stalled on the scoreboard (reading a pending register
+    /// without an intervening `Switch` — a compiler-contract violation
+    /// under `ExplicitSwitch`, ordinary behavior under `SwitchOnUse`).
+    pub stall: u64,
+    /// Local completion time of this processor.
+    pub finish_time: u64,
+}
+
+/// Why a simulation ended unsuccessfully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The watchdog cycle limit elapsed before all threads halted —
+    /// usually a deadlock (e.g. a barrier waiting for a halted thread).
+    Watchdog {
+        /// The configured limit.
+        max_cycles: u64,
+        /// Threads that had already halted.
+        halted_threads: usize,
+        /// Total threads.
+        total_threads: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Watchdog { max_cycles, halted_threads, total_threads } => write!(
+                f,
+                "watchdog expired after {max_cycles} cycles with {halted_threads}/{total_threads} threads halted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall-clock completion time in cycles (when the last thread halted).
+    pub cycles: u64,
+    /// Per-processor cycle accounting.
+    pub per_proc: Vec<ProcStats>,
+    /// Run-length distribution across all threads.
+    pub run_lengths: RunLengthHist,
+    /// Context switches actually taken.
+    pub switches_taken: u64,
+    /// `Switch` instructions skipped (conditional-switch cache hits and
+    /// inter-block-estimate skips).
+    pub switches_skipped: u64,
+    /// Switches forced by the `max_run` interval (§6.2).
+    pub forced_switches: u64,
+    /// Blocking shared reads issued (dynamic).
+    pub reads_issued: u64,
+    /// Network traffic tally.
+    pub traffic: Traffic,
+    /// Aggregate cache statistics (cache models only).
+    pub cache: Option<CacheStats>,
+    /// Per-thread one-line-cache statistics: `(hits, accesses)` summed.
+    pub one_line: (u64, u64),
+    /// Scoreboard stalls observed (see [`ProcStats::stall`]).
+    pub scoreboard_stalls: u64,
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Shared-access trace, when `MachineConfig::collect_trace` was set.
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
+impl RunResult {
+    /// Total busy cycles over all processors.
+    pub fn busy_cycles(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.busy).sum()
+    }
+
+    /// Processor utilization: busy / (processors × wall-clock).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.busy_cycles() as f64 / (self.cycles as f64 * self.per_proc.len() as f64)
+    }
+
+    /// Dynamic grouping factor: blocking reads per taken-or-skipped switch
+    /// point. Meaningful under the explicit/conditional models.
+    pub fn dynamic_grouping_factor(&self) -> f64 {
+        let switch_points = self.switches_taken + self.switches_skipped;
+        if switch_points == 0 {
+            0.0
+        } else {
+            self.reads_issued as f64 / switch_points as f64
+        }
+    }
+
+    /// Paper-style bandwidth demand: non-spin bits per cycle per processor.
+    pub fn bits_per_cycle(&self) -> f64 {
+        self.traffic.bits_per_cycle(self.cycles, self.per_proc.len() as u64)
+    }
+
+    /// One-line-cache hit rate (§5.2 estimator), 0.0 if unused.
+    pub fn one_line_hit_rate(&self) -> f64 {
+        if self.one_line.1 == 0 {
+            0.0
+        } else {
+            self.one_line.0 as f64 / self.one_line.1 as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = RunLengthHist::new();
+        for c in [1, 1, 2, 3, 4, 5, 8, 9, 100000] {
+            h.record(c);
+        }
+        assert_eq!(h.count(), 9);
+        assert!((h.fraction_at(1) - 2.0 / 9.0).abs() < 1e-12);
+        assert!((h.fraction_at(3) - h.fraction_at(4)).abs() < 1e-12, "3 and 4 share a bucket");
+        let labels: Vec<_> = h.buckets().map(|(l, _)| l).collect();
+        assert!(labels.contains(&"1".to_string()));
+        assert!(labels.contains(&"3-4".to_string()));
+        assert!(labels.iter().any(|l| l.ends_with('+')));
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = RunLengthHist::new();
+        h.record(10);
+        h.record(30);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(h.total_cycles(), 40);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = RunLengthHist::new();
+        a.record(1);
+        let mut b = RunLengthHist::new();
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = RunLengthHist::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.fraction_at(5), 0.0);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let r = RunResult {
+            cycles: 100,
+            per_proc: vec![
+                ProcStats { busy: 80, idle: 20, overhead: 0, stall: 0, finish_time: 100 },
+                ProcStats { busy: 40, idle: 60, overhead: 0, stall: 0, finish_time: 100 },
+            ],
+            run_lengths: RunLengthHist::new(),
+            switches_taken: 10,
+            switches_skipped: 0,
+            forced_switches: 0,
+            reads_issued: 20,
+            traffic: Traffic::new(),
+            cache: None,
+            one_line: (0, 0),
+            scoreboard_stalls: 0,
+            instructions: 120,
+            trace: None,
+        };
+        assert!((r.utilization() - 0.6).abs() < 1e-12);
+        assert!((r.dynamic_grouping_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watchdog_error_displays() {
+        let e = SimError::Watchdog { max_cycles: 10, halted_threads: 1, total_threads: 4 };
+        let s = e.to_string();
+        assert!(s.contains("watchdog") && s.contains("1/4"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-thread architectural state.
+
+use mtsim_isa::{FReg, Pc, Reg};
+use mtsim_mem::OneLineCache;
+
+/// A register whose value is still in flight (issued shared read whose
+/// reply has not arrived).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingReg {
+    /// True for an FP register.
+    pub fp: bool,
+    /// Register index.
+    pub idx: u8,
+    /// Cycle at which the value becomes usable.
+    pub ready: u64,
+}
+
+/// One thread's complete state: registers, private memory, pc, split-phase
+/// scoreboard, and per-thread instrumentation.
+#[derive(Debug, Clone)]
+pub(crate) struct Thread {
+    pub regs: [i64; Reg::COUNT],
+    pub fregs: [f64; FReg::COUNT],
+    pub local: Vec<u64>,
+    pub pc: Pc,
+    pub halted: bool,
+    /// Earliest cycle at which this thread may run again.
+    pub wake: u64,
+    /// Max reply time over all outstanding reads.
+    pub outstanding: u64,
+    /// Registers with in-flight values.
+    pub pending: Vec<PendingReg>,
+    /// Conditional-switch: did any read in the current group miss?
+    pub pending_miss: bool,
+    /// Blocking reads issued since the last switch point.
+    pub group_reads: u32,
+    /// §5.2 estimator: did every read of the current group hit the
+    /// one-line cache?
+    pub group_all_oneline: bool,
+    /// The §5.2 one-line 32-word per-thread cache.
+    pub one_line: OneLineCache,
+    /// Busy cycles since the last context switch (run-length accumulator,
+    /// also drives the conditional-switch forced-switch interval).
+    pub run_cycles: u64,
+    /// Scheduling priority (0 = normal); set by `SetPrio`, honored when
+    /// `MachineConfig::priority_scheduling` is enabled.
+    pub prio: u8,
+}
+
+impl Thread {
+    /// Creates a thread with the entry-ABI registers set (`r1` = tid,
+    /// `r2` = nthreads) and zeroed local memory.
+    pub fn new(tid: i64, nthreads: i64, local_words: u64) -> Thread {
+        let mut regs = [0i64; Reg::COUNT];
+        regs[Reg::TID.index()] = tid;
+        regs[Reg::NTHREADS.index()] = nthreads;
+        Thread {
+            regs,
+            fregs: [0.0; FReg::COUNT],
+            local: vec![0; local_words as usize],
+            pc: 0,
+            halted: false,
+            wake: 0,
+            outstanding: 0,
+            pending: Vec::new(),
+            pending_miss: false,
+            group_reads: 0,
+            group_all_oneline: true,
+            one_line: OneLineCache::default(),
+            run_cycles: 0,
+            prio: 0,
+        }
+    }
+
+    /// Reads an integer register (`r0` reads as zero).
+    #[inline]
+    pub fn rget(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes an integer register (`r0` writes are discarded).
+    #[inline]
+    pub fn rset(&mut self, r: Reg, v: i64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Reads an FP register.
+    #[inline]
+    pub fn fget(&self, f: FReg) -> f64 {
+        self.fregs[f.index()]
+    }
+
+    /// Writes an FP register.
+    #[inline]
+    pub fn fset(&mut self, f: FReg, v: f64) {
+        self.fregs[f.index()] = v;
+    }
+
+    /// Computes the effective word address of `base + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the effective address is negative.
+    #[inline]
+    pub fn ea(&self, base: Reg, offset: i64) -> u64 {
+        let a = self.rget(base).wrapping_add(offset);
+        debug_assert!(a >= 0, "negative effective address {a} (base {base}, offset {offset})");
+        a as u64
+    }
+
+    /// Reads local memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a clear message) on an out-of-range local access.
+    #[inline]
+    pub fn local_read(&self, addr: u64) -> u64 {
+        *self
+            .local
+            .get(addr as usize)
+            .unwrap_or_else(|| panic!("local load out of range: {addr} >= {}", self.local.len()))
+    }
+
+    /// Writes local memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range local access.
+    #[inline]
+    pub fn local_write(&mut self, addr: u64, v: u64) {
+        let len = self.local.len();
+        *self
+            .local
+            .get_mut(addr as usize)
+            .unwrap_or_else(|| panic!("local store out of range: {addr} >= {len}")) = v;
+    }
+
+    /// Removes `(fp, idx)` from the pending set (an overwrite kills the
+    /// in-flight value).
+    pub fn kill_pending(&mut self, fp: bool, idx: u8) {
+        self.pending.retain(|p| !(p.fp == fp && p.idx == idx));
+    }
+
+    /// Drops pending entries that have arrived by `now`; returns the
+    /// latest `ready` among pending entries matching the given registers,
+    /// if any are still in flight.
+    pub fn pending_ready_for(&mut self, now: u64, int_uses: &[Reg], fp_uses: &[FReg]) -> Option<u64> {
+        self.pending.retain(|p| p.ready > now);
+        let mut needed: Option<u64> = None;
+        for p in &self.pending {
+            let used = if p.fp {
+                fp_uses.iter().any(|f| f.index() == p.idx as usize)
+            } else {
+                int_uses.iter().any(|r| r.index() == p.idx as usize)
+            };
+            if used {
+                needed = Some(needed.map_or(p.ready, |n| n.max(p.ready)));
+            }
+        }
+        needed
+    }
+
+    /// Resets the split-phase group state (at a switch point).
+    pub fn clear_group(&mut self) {
+        self.pending.clear();
+        self.pending_miss = false;
+        self.group_reads = 0;
+        self.group_all_oneline = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_abi() {
+        let t = Thread::new(3, 8, 16);
+        assert_eq!(t.rget(Reg::TID), 3);
+        assert_eq!(t.rget(Reg::NTHREADS), 8);
+        assert_eq!(t.rget(Reg::ZERO), 0);
+        assert_eq!(t.local.len(), 16);
+    }
+
+    #[test]
+    fn r0_is_immutable() {
+        let mut t = Thread::new(0, 1, 1);
+        t.rset(Reg::ZERO, 99);
+        assert_eq!(t.rget(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn pending_scan_purges_and_finds() {
+        let mut t = Thread::new(0, 1, 1);
+        t.pending.push(PendingReg { fp: false, idx: 8, ready: 100 });
+        t.pending.push(PendingReg { fp: true, idx: 2, ready: 150 });
+        // At t=120 the int reg has arrived; only the fp one is pending.
+        let need = t.pending_ready_for(120, &[Reg::new(8)], &[FReg::new(2)]);
+        assert_eq!(need, Some(150));
+        assert_eq!(t.pending.len(), 1);
+        // Unrelated registers need nothing.
+        let need = t.pending_ready_for(120, &[Reg::new(9)], &[]);
+        assert_eq!(need, None);
+    }
+
+    #[test]
+    fn kill_pending_removes_overwritten() {
+        let mut t = Thread::new(0, 1, 1);
+        t.pending.push(PendingReg { fp: false, idx: 8, ready: 100 });
+        t.kill_pending(false, 8);
+        assert!(t.pending.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "local load out of range")]
+    fn local_oob_panics() {
+        let t = Thread::new(0, 1, 4);
+        let _ = t.local_read(4);
+    }
+}

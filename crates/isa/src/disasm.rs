@@ -1,0 +1,170 @@
+//! Textual instruction rendering, used by program listings (e.g. the Fig. 4
+//! before/after-grouping listings) and `Debug` output in tests.
+
+use crate::{AluOp, BCond, CmpOp, FpuOp, Inst, Space};
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sle => "sle",
+        AluOp::Seq => "seq",
+        AluOp::Sne => "sne",
+    }
+}
+
+fn fpu_name(op: FpuOp) -> &'static str {
+    match op {
+        FpuOp::Add => "fadd",
+        FpuOp::Sub => "fsub",
+        FpuOp::Mul => "fmul",
+        FpuOp::Div => "fdiv",
+        FpuOp::Min => "fmin",
+        FpuOp::Max => "fmax",
+    }
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "flt",
+        CmpOp::Le => "fle",
+        CmpOp::Eq => "feq",
+        CmpOp::Ne => "fne",
+    }
+}
+
+fn bcond_name(c: BCond) -> &'static str {
+    match c {
+        BCond::Eq => "beq",
+        BCond::Ne => "bne",
+        BCond::Lt => "blt",
+        BCond::Le => "ble",
+        BCond::Gt => "bgt",
+        BCond::Ge => "bge",
+    }
+}
+
+fn hint_suffix(h: crate::AccessHint) -> &'static str {
+    match h {
+        crate::AccessHint::Data => "",
+        crate::AccessHint::Spin => ".spin",
+    }
+}
+
+fn space_suffix(s: Space) -> &'static str {
+    match s {
+        Space::Local => ".l",
+        Space::Shared => ".s",
+    }
+}
+
+impl std::fmt::Display for Inst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Inst::Alu { op, rd, rs, rt } => write!(f, "{} {rd}, {rs}, {rt}", alu_name(op)),
+            Inst::AluI { op, rd, rs, imm } => write!(f, "{}i {rd}, {rs}, {imm}", alu_name(op)),
+            Inst::Fpu { op, fd, fs, ft } => write!(f, "{} {fd}, {fs}, {ft}", fpu_name(op)),
+            Inst::FpuCmp { op, rd, fs, ft } => write!(f, "{} {rd}, {fs}, {ft}", cmp_name(op)),
+            Inst::FLi { fd, val } => write!(f, "fli {fd}, {val}"),
+            Inst::CvtIF { fd, rs } => write!(f, "cvt.i.f {fd}, {rs}"),
+            Inst::CvtFI { rd, fs } => write!(f, "cvt.f.i {rd}, {fs}"),
+            Inst::MovIF { fd, rs } => write!(f, "mov.i.f {fd}, {rs}"),
+            Inst::MovFI { rd, fs } => write!(f, "mov.f.i {rd}, {fs}"),
+            Inst::FSqrt { fd, fs } => write!(f, "fsqrt {fd}, {fs}"),
+            Inst::Load { space, rd, base, offset, hint } => {
+                write!(f, "ld{}{} {rd}, {offset}({base})", space_suffix(space), hint_suffix(hint))
+            }
+            Inst::Store { space, rs, base, offset, hint } => {
+                write!(f, "st{}{} {rs}, {offset}({base})", space_suffix(space), hint_suffix(hint))
+            }
+            Inst::FLoad { space, fd, base, offset } => {
+                write!(f, "fld{} {fd}, {offset}({base})", space_suffix(space))
+            }
+            Inst::FStore { space, fs, base, offset } => {
+                write!(f, "fst{} {fs}, {offset}({base})", space_suffix(space))
+            }
+            Inst::LoadPair { space, fd1, fd2, base, offset } => {
+                write!(f, "ldd{} {fd1}:{fd2}, {offset}({base})", space_suffix(space))
+            }
+            Inst::StorePair { space, fs1, fs2, base, offset } => {
+                write!(f, "std{} {fs1}:{fs2}, {offset}({base})", space_suffix(space))
+            }
+            Inst::FetchAdd { rd, rs, base, offset, hint } => {
+                write!(f, "faa{} {rd}, {rs}, {offset}({base})", hint_suffix(hint))
+            }
+            Inst::Branch { cond, rs, rt, target } => {
+                write!(f, "{} {rs}, {rt}, {target}", bcond_name(cond))
+            }
+            Inst::Jump { target } => write!(f, "j {target}"),
+            Inst::SetPrio { level } => write!(f, "prio {level}"),
+            Inst::Switch => write!(f, "switch"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessHint, FReg, Reg, Target};
+
+    #[test]
+    fn renders_shared_and_local() {
+        let ld = Inst::Load {
+            space: Space::Shared,
+            rd: Reg::R8,
+            base: Reg::new(9),
+            offset: 3,
+            hint: AccessHint::Data,
+        };
+        assert_eq!(ld.to_string(), "ld.s r8, 3(r9)");
+        let st = Inst::FStore { space: Space::Local, fs: FReg::new(2), base: Reg::new(9), offset: -1 };
+        assert_eq!(st.to_string(), "fst.l f2, -1(r9)");
+    }
+
+    #[test]
+    fn renders_control_and_switch() {
+        let b = Inst::Branch { cond: BCond::Lt, rs: Reg::new(8), rt: Reg::new(9), target: Target::Pc(4) };
+        assert_eq!(b.to_string(), "blt r8, r9, @4");
+        assert_eq!(Inst::Switch.to_string(), "switch");
+    }
+
+    #[test]
+    fn every_variant_renders_nonempty() {
+        let r = Reg::R8;
+        let f = FReg::F0;
+        let t = Target::Label(1);
+        let insts = vec![
+            Inst::Alu { op: AluOp::Add, rd: r, rs: r, rt: r },
+            Inst::AluI { op: AluOp::Xor, rd: r, rs: r, imm: 7 },
+            Inst::Fpu { op: FpuOp::Min, fd: f, fs: f, ft: f },
+            Inst::FpuCmp { op: CmpOp::Ne, rd: r, fs: f, ft: f },
+            Inst::FLi { fd: f, val: 1.5 },
+            Inst::CvtIF { fd: f, rs: r },
+            Inst::CvtFI { rd: r, fs: f },
+            Inst::MovIF { fd: f, rs: r },
+            Inst::MovFI { rd: r, fs: f },
+            Inst::FLoad { space: Space::Shared, fd: f, base: r, offset: 0 },
+            Inst::LoadPair { space: Space::Shared, fd1: f, fd2: FReg::new(1), base: r, offset: 0 },
+            Inst::StorePair { space: Space::Shared, fs1: f, fs2: FReg::new(1), base: r, offset: 0 },
+            Inst::FetchAdd { rd: r, rs: r, base: r, offset: 0, hint: AccessHint::Spin },
+            Inst::Jump { target: t },
+            Inst::Halt,
+            Inst::Nop,
+        ];
+        for i in insts {
+            assert!(!i.to_string().is_empty(), "{i:?}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! # mtsim-isa
+//!
+//! Instruction set of the simulated machine used throughout `mtsim`, the
+//! reproduction of Boothe & Ranade, *Improved Multithreading Techniques for
+//! Hiding Communication Latency in Multiprocessors* (ISCA 1992).
+//!
+//! The paper targets a "typical pipelined RISC processor" with the
+//! instruction set and timings of the MIPS R3000, extended with:
+//!
+//! * **local and shared versions** of every load and store (the paper assumes
+//!   every reference is statically classified by the compiler);
+//! * **Load-Double / Store-Double** to move two adjacent words in a single
+//!   network message (here: [`Inst::LoadPair`] / [`Inst::StorePair`]);
+//! * **Fetch-and-Add** as the synchronization primitive ([`Inst::FetchAdd`]);
+//! * an **explicit context-switch instruction** ([`Inst::Switch`]), the
+//!   paper's central addition.
+//!
+//! This crate defines the registers, instructions, and the per-instruction
+//! cycle-cost model; the execution semantics live in `mtsim-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use mtsim_isa::{Inst, AluOp, Reg, cost::cycles};
+//!
+//! let add = Inst::AluI { op: AluOp::Add, rd: Reg::R8, rs: Reg::ZERO, imm: 42 };
+//! assert_eq!(cycles(&add), 1);
+//! ```
+
+pub mod cost;
+mod disasm;
+mod inst;
+mod reg;
+
+pub use inst::{AccessHint, AluOp, BCond, CmpOp, FpuOp, Inst, Space};
+pub use reg::{FReg, Reg};
+
+/// A program-counter value: an index into a program's instruction vector.
+pub type Pc = u32;
+
+/// A label identifier used before branch-target resolution.
+pub type LabelId = u32;
+
+/// A branch/jump target: a label id before resolution, a [`Pc`] afterwards.
+///
+/// Programs are constructed with `Target::Label` references and resolved to
+/// `Target::Pc` by `mtsim_asm::Program::finish`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// An unresolved reference to a label created by the program builder.
+    Label(LabelId),
+    /// A resolved absolute instruction index.
+    Pc(Pc),
+}
+
+impl Target {
+    /// Returns the resolved program counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is still an unresolved label.
+    pub fn pc(self) -> Pc {
+        match self {
+            Target::Pc(pc) => pc,
+            Target::Label(l) => panic!("unresolved branch target: label {l}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Target::Label(l) => write!(f, "L{l}"),
+            Target::Pc(pc) => write!(f, "@{pc}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_pc_resolves() {
+        assert_eq!(Target::Pc(7).pc(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved")]
+    fn target_label_panics() {
+        let _ = Target::Label(3).pc();
+    }
+
+    #[test]
+    fn target_display() {
+        assert_eq!(Target::Label(2).to_string(), "L2");
+        assert_eq!(Target::Pc(9).to_string(), "@9");
+    }
+}

@@ -1,0 +1,131 @@
+//! Integer and floating-point register names.
+//!
+//! Each simulated thread owns a private set of 32 integer and 32
+//! floating-point registers, exactly as in the paper ("each thread has its
+//! own set of 32 integer and 32 floating-point registers").
+
+/// An integer register, `R0`..`R31`.
+///
+/// `R0` is hardwired to zero as on MIPS. The software conventions used by
+/// `mtsim-asm` codegen are documented on the associated constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Thread id at entry (ABI).
+    pub const TID: Reg = Reg(1);
+    /// Number of threads at entry (ABI).
+    pub const NTHREADS: Reg = Reg(2);
+    /// Scratch register reserved for the runtime's spin loops.
+    pub const RT0: Reg = Reg(3);
+    /// Second runtime scratch register.
+    pub const RT1: Reg = Reg(4);
+    /// Third runtime scratch register.
+    pub const RT2: Reg = Reg(5);
+    /// First general allocatable register (codegen pool starts here).
+    pub const R8: Reg = Reg(8);
+    /// Stack pointer by convention (not used by the builder's codegen, which
+    /// addresses local memory directly, but reserved for hand-written code).
+    pub const SP: Reg = Reg(29);
+
+    /// Number of integer registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 32, "integer register index {n} out of range");
+        Reg(n)
+    }
+
+    /// The register's index, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for `R0`, whose reads are always zero and writes discarded.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register, `F0`..`F31`. Each holds one `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// First general allocatable FP register.
+    pub const F0: FReg = FReg(0);
+
+    /// Number of floating-point registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates an FP register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> FReg {
+        assert!(n < 32, "fp register index {n} out of range");
+        FReg(n)
+    }
+
+    /// The register's index, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for FReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for n in 0..32 {
+            assert_eq!(Reg::new(n).index(), n as usize);
+            assert_eq!(FReg::new(n).index(), n as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_out_of_range() {
+        let _ = FReg::new(32);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::R8.is_zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::new(17).to_string(), "r17");
+        assert_eq!(FReg::new(3).to_string(), "f3");
+    }
+}

@@ -1,0 +1,131 @@
+//! Abstract syntax for the kernel language.
+
+/// A value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ty {
+    Int,
+    Float,
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Ty::Int => "int",
+            Ty::Float => "float",
+        })
+    }
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Item {
+    /// `shared <ty> name;` or `shared <ty> name[len];`
+    Shared { ty: Ty, name: String, len: Option<u64>, line: usize, col: usize },
+    /// `lock name;`
+    Lock { name: String, line: usize, col: usize },
+    /// `barrier name;`
+    Barrier { name: String, line: usize, col: usize },
+    /// `fn main() { ... }`
+    Main { body: Vec<Stmt> },
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LValue {
+    /// A scalar variable (local register var or shared scalar).
+    Name(String, usize, usize),
+    /// An indexed array (shared or local).
+    Index(String, Box<Expr>, usize, usize),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::enum_variant_names)]
+pub(crate) enum Stmt {
+    /// `int x = e;` / `float y = e;` (initializer required).
+    Decl { ty: Ty, name: String, init: Expr, line: usize, col: usize },
+    /// `local int buf[n];` / `local float buf[n];`
+    LocalArray { ty: Ty, name: String, len: u64, line: usize, col: usize },
+    /// `lv = e;`
+    Assign { lv: LValue, value: Expr },
+    /// `faa(lv, e);` with the result discarded.
+    FaaStmt { lv: LValue, amount: Expr, line: usize, col: usize },
+    /// `if (c) {..} else {..}`
+    If { cond: Expr, then: Vec<Stmt>, otherwise: Vec<Stmt> },
+    /// `while (c) {..}`
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `barrier(name);`
+    BarrierWait { name: String, line: usize, col: usize },
+    /// `acquire(name);`
+    Acquire { name: String, line: usize, col: usize },
+    /// `release(name);`
+    Release { name: String, line: usize, col: usize },
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Expr {
+    IntLit(i64, usize, usize),
+    FloatLit(f64, usize, usize),
+    /// Scalar read (register var or shared scalar).
+    Name(String, usize, usize),
+    /// Array read.
+    Index(String, Box<Expr>, usize, usize),
+    Tid(usize, usize),
+    Nthreads(usize, usize),
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, line: usize, col: usize },
+    /// Unary minus.
+    Neg(Box<Expr>, usize, usize),
+    /// `faa(lv, e)` as an expression (yields the old value).
+    Faa { lv: LValue, amount: Box<Expr>, line: usize, col: usize },
+    /// `sqrt(e)`
+    Sqrt(Box<Expr>, usize, usize),
+    /// `min(a, b)` / `max(a, b)` (float).
+    MinMax { is_min: bool, a: Box<Expr>, b: Box<Expr>, line: usize, col: usize },
+    /// `float(e)`
+    ToFloat(Box<Expr>, usize, usize),
+    /// `int(e)`
+    ToInt(Box<Expr>, usize, usize),
+}
+
+impl Expr {
+    /// The expression's source position.
+    pub(crate) fn pos(&self) -> (usize, usize) {
+        match self {
+            Expr::IntLit(_, l, c)
+            | Expr::FloatLit(_, l, c)
+            | Expr::Name(_, l, c)
+            | Expr::Index(_, _, l, c)
+            | Expr::Tid(l, c)
+            | Expr::Nthreads(l, c)
+            | Expr::Neg(_, l, c)
+            | Expr::Sqrt(_, l, c)
+            | Expr::ToFloat(_, l, c)
+            | Expr::ToInt(_, l, c) => (*l, *c),
+            Expr::Bin { line, col, .. }
+            | Expr::Faa { line, col, .. }
+            | Expr::MinMax { line, col, .. } => (*line, *col),
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! Recursive-descent parser.
+
+use crate::ast::{BinOp, Expr, Item, LValue, Stmt, Ty};
+use crate::lexer::{Kw, Spanned, Tok};
+use crate::CompileError;
+
+#[derive(Debug)]
+pub(crate) struct Unit {
+    pub items: Vec<Item>,
+}
+
+struct Parser<'a> {
+    toks: &'a [Spanned],
+    pos: usize,
+}
+
+pub(crate) fn parse(toks: &[Spanned]) -> Result<Unit, CompileError> {
+    let mut p = Parser { toks, pos: 0 };
+    let mut items = Vec::new();
+    while p.peek().tok != Tok::Eof {
+        items.push(p.item()?);
+    }
+    if !items.iter().any(|i| matches!(i, Item::Main { .. })) {
+        return Err(p.err_here("program has no `fn main()`"));
+    }
+    Ok(Unit { items })
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Spanned {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> &Spanned {
+        let t = &self.toks[self.pos];
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, s: &Spanned, message: impl Into<String>) -> CompileError {
+        CompileError { line: s.line, col: s.col, message: message.into() }
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> CompileError {
+        let s = self.peek();
+        CompileError { line: s.line, col: s.col, message: message.into() }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        let t = self.peek().clone();
+        match &t.tok {
+            Tok::Punct(q) if *q == p => {
+                self.next();
+                Ok(())
+            }
+            _ => Err(self.err(&t, format!("expected '{p}'"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        match &self.peek().tok {
+            Tok::Punct(q) if *q == p => {
+                self.next();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if self.peek().tok == Tok::Kw(k) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, usize, usize), CompileError> {
+        let t = self.peek().clone();
+        match &t.tok {
+            Tok::Ident(s) => {
+                self.next();
+                Ok((s.clone(), t.line, t.col))
+            }
+            _ => Err(self.err(&t, "expected an identifier")),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Ty, CompileError> {
+        if self.eat_kw(Kw::IntTy) {
+            Ok(Ty::Int)
+        } else if self.eat_kw(Kw::FloatTy) {
+            Ok(Ty::Float)
+        } else {
+            Err(self.err_here("expected a type (`int` or `float`)"))
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<u64, CompileError> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Int(v) if v >= 0 => {
+                self.next();
+                Ok(v as u64)
+            }
+            _ => Err(self.err(&t, "expected a non-negative integer literal")),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Items
+    // ----------------------------------------------------------------
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        let t = self.peek().clone();
+        if self.eat_kw(Kw::Shared) {
+            let ty = self.ty()?;
+            let (name, line, col) = self.ident()?;
+            let len = if self.eat_punct("[") {
+                let n = self.int_lit()?;
+                self.expect_punct("]")?;
+                Some(n)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            return Ok(Item::Shared { ty, name, len, line, col });
+        }
+        if self.eat_kw(Kw::Lock) {
+            let (name, line, col) = self.ident()?;
+            self.expect_punct(";")?;
+            return Ok(Item::Lock { name, line, col });
+        }
+        if self.eat_kw(Kw::Barrier) {
+            let (name, line, col) = self.ident()?;
+            self.expect_punct(";")?;
+            return Ok(Item::Barrier { name, line, col });
+        }
+        if self.eat_kw(Kw::Fn) {
+            let (name, ..) = self.ident()?;
+            if name != "main" {
+                return Err(self.err(&t, "only `fn main()` is supported"));
+            }
+            self.expect_punct("(")?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Item::Main { body });
+        }
+        Err(self.err(&t, "expected a declaration (`shared`, `lock`, `barrier`, `fn`)"))
+    }
+
+    // ----------------------------------------------------------------
+    // Statements
+    // ----------------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.peek().tok == Tok::Eof {
+                return Err(self.err_here("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let t = self.peek().clone();
+
+        if matches!(self.peek().tok, Tok::Punct("{")) {
+            return Ok(Stmt::Block(self.block()?));
+        }
+        if self.eat_kw(Kw::Local) {
+            let ty = self.ty()?;
+            let (name, line, col) = self.ident()?;
+            self.expect_punct("[")?;
+            let len = self.int_lit()?;
+            self.expect_punct("]")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::LocalArray { ty, name, len, line, col });
+        }
+        if matches!(self.peek().tok, Tok::Kw(Kw::IntTy) | Tok::Kw(Kw::FloatTy)) {
+            let ty = self.ty()?;
+            let (name, line, col) = self.ident()?;
+            self.expect_punct("=")?;
+            let init = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl { ty, name, init, line, col });
+        }
+        if self.eat_kw(Kw::If) {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = self.block()?;
+            let otherwise = if self.eat_kw(Kw::Else) {
+                if matches!(self.peek().tok, Tok::Kw(Kw::If)) {
+                    vec![self.stmt()?] // else if
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then, otherwise });
+        }
+        if self.eat_kw(Kw::While) {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw(Kw::For) {
+            // for (init; cond; step) {body}  ==>  { init; while (cond) { body; step; } }
+            self.expect_punct("(")?;
+            let init = if matches!(self.peek().tok, Tok::Kw(Kw::IntTy) | Tok::Kw(Kw::FloatTy)) {
+                let ty = self.ty()?;
+                let (name, line, col) = self.ident()?;
+                self.expect_punct("=")?;
+                let e = self.expr()?;
+                Stmt::Decl { ty, name, init: e, line, col }
+            } else {
+                let lv = self.lvalue()?;
+                self.expect_punct("=")?;
+                let e = self.expr()?;
+                Stmt::Assign { lv, value: e }
+            };
+            self.expect_punct(";")?;
+            let cond = self.expr()?;
+            self.expect_punct(";")?;
+            let lv = self.lvalue()?;
+            self.expect_punct("=")?;
+            let step_e = self.expr()?;
+            self.expect_punct(")")?;
+            let mut body = self.block()?;
+            body.push(Stmt::Assign { lv, value: step_e });
+            return Ok(Stmt::Block(vec![init, Stmt::While { cond, body }]));
+        }
+        if self.eat_kw(Kw::Faa) {
+            self.expect_punct("(")?;
+            let lv = self.lvalue()?;
+            self.expect_punct(",")?;
+            let amount = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::FaaStmt { lv, amount, line: t.line, col: t.col });
+        }
+        if self.eat_kw(Kw::Barrier) {
+            self.expect_punct("(")?;
+            let (name, line, col) = self.ident()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::BarrierWait { name, line, col });
+        }
+        if self.eat_kw(Kw::Acquire) {
+            self.expect_punct("(")?;
+            let (name, line, col) = self.ident()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Acquire { name, line, col });
+        }
+        if self.eat_kw(Kw::Release) {
+            self.expect_punct("(")?;
+            let (name, line, col) = self.ident()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Release { name, line, col });
+        }
+
+        // assignment
+        let lv = self.lvalue()?;
+        self.expect_punct("=")?;
+        let value = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Assign { lv, value })
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, CompileError> {
+        let (name, line, col) = self.ident()?;
+        if self.eat_punct("[") {
+            let idx = self.expr()?;
+            self.expect_punct("]")?;
+            Ok(LValue::Index(name, Box::new(idx), line, col))
+        } else {
+            Ok(LValue::Name(name, line, col))
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ----------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.bitor_shift()?;
+        let t = self.peek().clone();
+        let op = match &t.tok {
+            Tok::Punct("==") => BinOp::Eq,
+            Tok::Punct("!=") => BinOp::Ne,
+            Tok::Punct("<") => BinOp::Lt,
+            Tok::Punct("<=") => BinOp::Le,
+            Tok::Punct(">") => BinOp::Gt,
+            Tok::Punct(">=") => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.bitor_shift()?;
+        Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line: t.line, col: t.col })
+    }
+
+    fn bitor_shift(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let t = self.peek().clone();
+            let op = match &t.tok {
+                Tok::Punct("&") => BinOp::And,
+                Tok::Punct("<<") => BinOp::Shl,
+                Tok::Punct(">>") => BinOp::Shr,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.additive()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line: t.line, col: t.col };
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let t = self.peek().clone();
+            let op = match &t.tok {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line: t.line, col: t.col };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let t = self.peek().clone();
+            let op = match &t.tok {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line: t.line, col: t.col };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let t = self.peek().clone();
+        if self.eat_punct("-") {
+            let e = self.unary()?;
+            return Ok(Expr::Neg(Box::new(e), t.line, t.col));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let t = self.peek().clone();
+        match &t.tok {
+            Tok::Int(v) => {
+                self.next();
+                Ok(Expr::IntLit(*v, t.line, t.col))
+            }
+            Tok::Float(v) => {
+                self.next();
+                Ok(Expr::FloatLit(*v, t.line, t.col))
+            }
+            Tok::Kw(Kw::Tid) => {
+                self.next();
+                Ok(Expr::Tid(t.line, t.col))
+            }
+            Tok::Kw(Kw::Nthreads) => {
+                self.next();
+                Ok(Expr::Nthreads(t.line, t.col))
+            }
+            Tok::Kw(Kw::Faa) => {
+                self.next();
+                self.expect_punct("(")?;
+                let lv = self.lvalue()?;
+                self.expect_punct(",")?;
+                let amount = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(Expr::Faa { lv, amount: Box::new(amount), line: t.line, col: t.col })
+            }
+            Tok::Kw(Kw::Sqrt) => {
+                self.next();
+                self.expect_punct("(")?;
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(Expr::Sqrt(Box::new(e), t.line, t.col))
+            }
+            Tok::Kw(Kw::Min) | Tok::Kw(Kw::Max) => {
+                let is_min = t.tok == Tok::Kw(Kw::Min);
+                self.next();
+                self.expect_punct("(")?;
+                let a = self.expr()?;
+                self.expect_punct(",")?;
+                let b = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(Expr::MinMax {
+                    is_min,
+                    a: Box::new(a),
+                    b: Box::new(b),
+                    line: t.line,
+                    col: t.col,
+                })
+            }
+            Tok::Kw(Kw::FloatTy) => {
+                self.next();
+                self.expect_punct("(")?;
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(Expr::ToFloat(Box::new(e), t.line, t.col))
+            }
+            Tok::Kw(Kw::IntTy) => {
+                self.next();
+                self.expect_punct("(")?;
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(Expr::ToInt(Box::new(e), t.line, t.col))
+            }
+            Tok::Punct("(") => {
+                self.next();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                let name = name.clone();
+                self.next();
+                if self.eat_punct("[") {
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr::Index(name, Box::new(idx), t.line, t.col))
+                } else {
+                    Ok(Expr::Name(name, t.line, t.col))
+                }
+            }
+            _ => Err(self.err(&t, "expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn p(src: &str) -> Result<Unit, CompileError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn parses_declarations_and_main() {
+        let u = p("shared int a[10]; shared float x; lock l; barrier b; fn main() { }").unwrap();
+        assert_eq!(u.items.len(), 5);
+    }
+
+    #[test]
+    fn requires_main() {
+        let err = p("shared int a;").unwrap_err();
+        assert!(err.message.contains("main"));
+    }
+
+    #[test]
+    fn parses_statements() {
+        let u = p(r#"
+            shared int a[8];
+            barrier ph;
+            fn main() {
+                int i = tid;
+                while (i < 8) {
+                    faa(a[i], 1);
+                    i = i + nthreads;
+                }
+                barrier(ph);
+                if (tid == 0) { a[0] = a[0] + 1; } else { }
+                for (int k = 0; k < 4; k = k + 1) { a[k] = k; }
+            }
+        "#)
+        .unwrap();
+        let Item::Main { body } = u.items.last().unwrap() else { panic!() };
+        assert!(body.len() >= 4);
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_cmp() {
+        let u = p("fn main() { int x = 1 + 2 * 3 < 10; }").unwrap();
+        let Item::Main { body } = &u.items[0] else { panic!() };
+        let Stmt::Decl { init, .. } = &body[0] else { panic!() };
+        // top node is the comparison
+        let Expr::Bin { op: BinOp::Lt, lhs, .. } = init else { panic!("{init:?}") };
+        let Expr::Bin { op: BinOp::Add, rhs, .. } = lhs.as_ref() else { panic!() };
+        assert!(matches!(rhs.as_ref(), Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn error_positions_are_precise() {
+        let err = p("fn main() {\n  int x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expression"));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let u = p("fn main() { int x = 0; if (x == 0) { x = 1; } else if (x == 1) { x = 2; } else { x = 3; } }");
+        assert!(u.is_ok(), "{u:?}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # mtsim-mem
+//!
+//! Shared-memory, network-traffic, and cache substrate for the `mtsim`
+//! simulator.
+//!
+//! The paper deliberately does **not** simulate a concrete interconnection
+//! network: it assumes a constant 200-cycle round-trip latency and measures
+//! the bandwidth an application *would demand* of a network, in bits per
+//! cycle (§6.1). This crate implements exactly that abstraction:
+//!
+//! * [`SharedMemory`] — the global word array, with atomic fetch-and-add
+//!   applied in global issue order (constant latency makes issue order and
+//!   memory-arrival order identical);
+//! * [`Traffic`] — message accounting with the documented message format
+//!   (32-bit header, 32-bit address, 64-bit data words), split into data
+//!   and spin traffic because the paper's footnote 2 excludes spin messages;
+//! * [`CoherentCaches`] — per-processor shared-data caches used by the
+//!   `switch-on-miss`, `switch-on-use-miss`, and `conditional-switch`
+//!   models: direct-mapped, write-through, no-write-allocate, kept coherent
+//!   by a full-map directory that invalidates remote copies on stores;
+//! * [`OneLineCache`] — the paper's §5.2 experiment: a single 32-word line
+//!   per *thread* used to estimate inter-block grouping potential.
+//!
+//! Caches here are *timing and traffic* models: data values always come
+//! from [`SharedMemory`], which is kept coherent by construction because
+//! the engine applies every shared operation in global time order.
+
+mod cache;
+mod shared;
+mod traffic;
+mod trace;
+
+pub use cache::{CacheParams, CacheStats, CoherentCaches, OneLineCache};
+pub use shared::SharedMemory;
+pub use trace::{TraceEvent, TraceKind};
+pub use traffic::{MsgClass, Traffic, ADDR_BITS, HDR_BITS, WORD_BITS};

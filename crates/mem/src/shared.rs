@@ -1,0 +1,128 @@
+//! The global shared-memory word array.
+
+/// Global shared memory: a flat array of 64-bit words, word-addressed.
+///
+/// The simulation engine applies every shared operation in global time
+/// order, so plain sequential mutation here is a faithful model of a
+/// sequentially-consistent memory with constant access latency.
+///
+/// Host-side code (application harnesses, tests) uses the same accessors to
+/// initialize inputs and verify results; integer and float views share the
+/// word array via bit reinterpretation, exactly as the machine's FP
+/// load/store instructions do.
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    words: Vec<u64>,
+}
+
+impl SharedMemory {
+    /// Allocates `words` zeroed shared words.
+    pub fn new(words: u64) -> SharedMemory {
+        SharedMemory { words: vec![0; words as usize] }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    /// True if the memory has zero words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range (the simulated program performed a
+    /// wild shared access — always a bug in the application).
+    #[inline]
+    pub fn read(&self, addr: u64) -> u64 {
+        self.words[addr as usize]
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn write(&mut self, addr: u64, value: u64) {
+        self.words[addr as usize] = value;
+    }
+
+    /// Atomic fetch-and-add: returns the old value after adding `inc`
+    /// (wrapping, two's complement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn fetch_add(&mut self, addr: u64, inc: i64) -> u64 {
+        let old = self.words[addr as usize];
+        self.words[addr as usize] = old.wrapping_add(inc as u64);
+        old
+    }
+
+    /// Reads the word at `addr` as a signed integer.
+    #[inline]
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        self.read(addr) as i64
+    }
+
+    /// Writes a signed integer at `addr`.
+    #[inline]
+    pub fn write_i64(&mut self, addr: u64, value: i64) {
+        self.write(addr, value as u64);
+    }
+
+    /// Reads the word at `addr` reinterpreted as an `f64`.
+    #[inline]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read(addr))
+    }
+
+    /// Writes an `f64`'s bits at `addr`.
+    #[inline]
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write(addr, value.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = SharedMemory::new(8);
+        m.write(3, 42);
+        assert_eq!(m.read(3), 42);
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn fetch_add_returns_old() {
+        let mut m = SharedMemory::new(2);
+        assert_eq!(m.fetch_add(0, 5), 0);
+        assert_eq!(m.fetch_add(0, -2), 5);
+        assert_eq!(m.read_i64(0), 3);
+    }
+
+    #[test]
+    fn float_bits_roundtrip() {
+        let mut m = SharedMemory::new(1);
+        m.write_f64(0, -1.25);
+        assert_eq!(m.read_f64(0), -1.25);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let m = SharedMemory::new(1);
+        let _ = m.read(1);
+    }
+}

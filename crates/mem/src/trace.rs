@@ -1,0 +1,89 @@
+//! Shared-access trace events.
+//!
+//! The paper's methodology is trace-based ("In our simulator we use trace
+//! analysis to determine this information", §3). The engine can optionally
+//! record every shared access; the `mtsim-trace` crate analyzes the
+//! stream (locality, reuse, cache-geometry sweeps, bandwidth burstiness).
+
+/// The kind of a shared access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Single-word read (load or the read half of a use).
+    Read,
+    /// Single-word write.
+    Write,
+    /// Load-Double (two adjacent words, one message).
+    ReadPair,
+    /// Store-Double.
+    WritePair,
+    /// Fetch-and-add (read-modify-write at memory).
+    FetchAdd,
+}
+
+impl TraceKind {
+    /// Words of data the access moves.
+    pub fn words(self) -> u64 {
+        match self {
+            TraceKind::ReadPair | TraceKind::WritePair => 2,
+            _ => 1,
+        }
+    }
+
+    /// Uncached network bits for the access (forward + return), using the
+    /// message format of [`crate::Traffic`].
+    pub fn bits(self) -> u64 {
+        use crate::{ADDR_BITS, HDR_BITS, WORD_BITS};
+        match self {
+            TraceKind::Read => (HDR_BITS + ADDR_BITS) + (HDR_BITS + WORD_BITS),
+            TraceKind::ReadPair => (HDR_BITS + ADDR_BITS) + (HDR_BITS + 2 * WORD_BITS),
+            TraceKind::Write => (HDR_BITS + ADDR_BITS + WORD_BITS) + HDR_BITS,
+            TraceKind::WritePair => (HDR_BITS + ADDR_BITS + 2 * WORD_BITS) + HDR_BITS,
+            TraceKind::FetchAdd => (HDR_BITS + ADDR_BITS + WORD_BITS) + (HDR_BITS + WORD_BITS),
+        }
+    }
+
+    /// True for accesses that read memory (reads and fetch-and-adds).
+    pub fn is_read(self) -> bool {
+        matches!(self, TraceKind::Read | TraceKind::ReadPair | TraceKind::FetchAdd)
+    }
+
+    /// True for accesses that write memory.
+    pub fn is_write(self) -> bool {
+        matches!(self, TraceKind::Write | TraceKind::WritePair | TraceKind::FetchAdd)
+    }
+}
+
+/// One shared access, as recorded by the engine in issue order (which,
+/// under the constant-latency network, is also memory-arrival order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Issue cycle.
+    pub time: u64,
+    /// Issuing processor.
+    pub proc: u32,
+    /// Issuing thread (global id).
+    pub thread: u32,
+    /// Access kind.
+    pub kind: TraceKind,
+    /// Word address (first word for pair accesses).
+    pub addr: u64,
+    /// True for lock/barrier spin traffic.
+    pub spin: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_properties() {
+        assert_eq!(TraceKind::ReadPair.words(), 2);
+        assert_eq!(TraceKind::Read.words(), 1);
+        assert!(TraceKind::FetchAdd.is_read() && TraceKind::FetchAdd.is_write());
+        assert!(TraceKind::Read.is_read() && !TraceKind::Read.is_write());
+        // A read round trip: 64 forward + 96 back.
+        assert_eq!(TraceKind::Read.bits(), 160);
+        // The pair saves one header+address pair vs two reads.
+        assert!(TraceKind::ReadPair.bits() < 2 * TraceKind::Read.bits());
+    }
+}

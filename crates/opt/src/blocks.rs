@@ -1,0 +1,89 @@
+//! Basic-block discovery over a linear instruction stream.
+
+use mtsim_asm::Program;
+use mtsim_isa::Target;
+use std::ops::Range;
+
+/// Returns the basic blocks of `prog` as half-open instruction ranges, in
+/// program order.
+///
+/// Leaders are: instruction 0, every branch/jump target, and every
+/// instruction following a control instruction (branch, jump, halt).
+pub fn basic_blocks(prog: &Program) -> Vec<Range<usize>> {
+    let n = prog.len();
+    let mut leader = vec![false; n + 1];
+    leader[0] = true;
+    leader[n] = true;
+    for (pc, inst) in prog.insts().iter().enumerate() {
+        if let Some(Target::Pc(t)) = inst.target() {
+            leader[t as usize] = true;
+        }
+        if inst.is_control() {
+            leader[pc + 1] = true;
+        }
+    }
+    let mut blocks = Vec::new();
+    let mut start = 0;
+    for (pc, &lead) in leader.iter().enumerate().skip(1) {
+        if lead {
+            blocks.push(start..pc);
+            start = pc;
+        }
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsim_asm::ProgramBuilder;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.def_i("x", 1);
+        let y = b.def_i("y", x.get() + 2);
+        b.store_local(b.const_i(0), y.get());
+        let p = b.finish();
+        let blocks = basic_blocks(&p);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0], 0..p.len());
+    }
+
+    #[test]
+    fn loop_splits_blocks() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.def_i("i", 0);
+        b.while_(i.get().lt(4), |b| {
+            b.assign(i, i.get() + 1);
+        });
+        let p = b.finish();
+        let blocks = basic_blocks(&p);
+        // init block, loop head (branch), body+backjump, exit(halt)
+        assert!(blocks.len() >= 3, "{blocks:?}\n{}", p.listing());
+        // Blocks tile the program exactly.
+        let mut covered = 0;
+        for r in &blocks {
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, p.len());
+    }
+
+    #[test]
+    fn branch_targets_start_blocks() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.def_i("x", 0);
+        b.if_else(b.tid().eq(0), |b| b.assign(x, 1), |b| b.assign(x, 2));
+        let p = b.finish();
+        let blocks = basic_blocks(&p);
+        for inst in p.insts() {
+            if let Some(Target::Pc(t)) = inst.target() {
+                assert!(
+                    blocks.iter().any(|r| r.start == t as usize),
+                    "target @{t} is not a leader"
+                );
+            }
+        }
+    }
+}

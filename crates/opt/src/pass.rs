@@ -1,0 +1,392 @@
+//! The grouping pass: list-schedules each basic block so that independent
+//! shared loads are issued together, then inserts one `Switch` per group.
+
+use crate::blocks::basic_blocks;
+use crate::dag::{is_blocking_read, Dag};
+use mtsim_asm::Program;
+use mtsim_isa::{Inst, Pc, Target};
+use std::collections::BTreeMap;
+
+/// Statistics produced by [`group_shared_loads`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Number of `Switch` instructions inserted (= number of groups).
+    pub switches_inserted: usize,
+    /// Total blocking shared reads placed into groups.
+    pub grouped_loads: usize,
+    /// Histogram of group sizes: `size -> count`.
+    pub group_sizes: BTreeMap<usize, usize>,
+    /// Number of basic blocks processed.
+    pub blocks: usize,
+}
+
+impl GroupStats {
+    /// Mean loads per group — the paper's static "grouping" factor.
+    /// Returns 0.0 if there are no groups.
+    pub fn grouping_factor(&self) -> f64 {
+        if self.switches_inserted == 0 {
+            0.0
+        } else {
+            self.grouped_loads as f64 / self.switches_inserted as f64
+        }
+    }
+
+    /// Largest group formed.
+    pub fn max_group(&self) -> usize {
+        self.group_sizes.keys().copied().max().unwrap_or(0)
+    }
+}
+
+/// Result of the grouping pass.
+#[derive(Debug, Clone)]
+pub struct GroupingResult {
+    /// The reorganized program with `Switch` instructions inserted.
+    pub program: Program,
+    /// Static statistics about the transformation.
+    pub stats: GroupStats,
+}
+
+/// Reorganizes `prog` for the explicit-switch/conditional-switch models:
+/// groups independent shared loads within each basic block and inserts a
+/// single `Switch` after each group.
+///
+/// The transformation preserves semantics: per-register write order, memory
+/// order within each space (with the paper's pessimistic aliasing), and
+/// control structure are all unchanged.
+///
+/// # Panics
+///
+/// Panics if `prog` already contains `Switch` instructions (the pass
+/// expects compiler-natural input and is not idempotent).
+pub fn group_shared_loads(prog: &Program) -> GroupingResult {
+    assert_eq!(
+        prog.switch_count(),
+        0,
+        "grouping pass expects a switch-free input program"
+    );
+
+    let blocks = basic_blocks(prog);
+    let mut out: Vec<Inst> = Vec::with_capacity(prog.len() + prog.len() / 4);
+    let mut stats = GroupStats { blocks: blocks.len(), ..GroupStats::default() };
+    // old leader pc -> new pc
+    let mut leader_map: Vec<(Pc, Pc)> = Vec::with_capacity(blocks.len());
+
+    for range in &blocks {
+        leader_map.push((range.start as Pc, out.len() as Pc));
+        let insts = &prog.insts()[range.clone()];
+        schedule_block(insts, &mut out, &mut stats);
+    }
+
+    // Rewrite branch targets to the new leader positions.
+    for inst in &mut out {
+        if let Some(Target::Pc(old)) = inst.target() {
+            let new = leader_map
+                .iter()
+                .find(|&&(o, _)| o == old)
+                .map(|&(_, n)| n)
+                .unwrap_or_else(|| panic!("branch target @{old} is not a block leader"));
+            inst.set_target(Target::Pc(new));
+        }
+    }
+
+    GroupingResult {
+        program: Program::from_raw_parts(prog.name().to_string(), out)
+            .with_local_words(prog.local_words()),
+        stats,
+    }
+}
+
+fn schedule_block(insts: &[Inst], out: &mut Vec<Inst>, stats: &mut GroupStats) {
+    let (body, terminator) = match insts.last() {
+        Some(t) if t.is_control() => (&insts[..insts.len() - 1], Some(*t)),
+        _ => (insts, None),
+    };
+
+    if !body.iter().any(is_blocking_read) {
+        // Nothing to group: keep the block untouched (zero penalty).
+        out.extend_from_slice(insts);
+        return;
+    }
+
+    let n = body.len();
+    let dag = Dag::build(body);
+    let mut unemitted_preds = dag.preds.clone();
+    let mut uncompleted_needs = dag.completion_preds.clone();
+    let mut emitted = vec![false; n];
+    let mut pending: Vec<usize> = Vec::new();
+    let mut emitted_count = 0usize;
+
+    let candidate = |i: usize,
+                     emitted: &[bool],
+                     unemitted_preds: &[usize],
+                     uncompleted_needs: &[usize]| {
+        !emitted[i] && unemitted_preds[i] == 0 && uncompleted_needs[i] == 0
+    };
+
+    while emitted_count < n {
+        // 1. Issue every ready blocking read (opens / extends the group).
+        let mut issued_any = false;
+        loop {
+            let next = (0..n).find(|&i| {
+                candidate(i, &emitted, &unemitted_preds, &uncompleted_needs)
+                    && is_blocking_read(&body[i])
+            });
+            let Some(i) = next else { break };
+            emitted[i] = true;
+            emitted_count += 1;
+            out.push(body[i]);
+            pending.push(i);
+            issued_any = true;
+            for e in &dag.succs[i] {
+                unemitted_preds[e.to] -= 1;
+                // completion deps stay blocked until the Switch
+            }
+        }
+        if issued_any {
+            continue;
+        }
+
+        // 2. Emit one ready non-read instruction.
+        if let Some(i) =
+            (0..n).find(|&i| candidate(i, &emitted, &unemitted_preds, &uncompleted_needs))
+        {
+            emitted[i] = true;
+            emitted_count += 1;
+            out.push(body[i]);
+            for e in &dag.succs[i] {
+                unemitted_preds[e.to] -= 1;
+                if e.needs_completion {
+                    uncompleted_needs[e.to] -= 1;
+                }
+            }
+            continue;
+        }
+
+        // 3. Stuck on pending values: close the group with a Switch.
+        assert!(!pending.is_empty(), "dependency cycle in basic block");
+        close_group(&dag, &mut pending, &mut uncompleted_needs, out, stats);
+    }
+
+    // Loads still in flight at block end: close the group before leaving
+    // the block (intra-block analysis cannot see uses in successor blocks).
+    if !pending.is_empty() {
+        close_group(&dag, &mut pending, &mut uncompleted_needs, out, stats);
+    }
+
+    if let Some(t) = terminator {
+        out.push(t);
+    }
+}
+
+fn close_group(
+    dag: &Dag,
+    pending: &mut Vec<usize>,
+    uncompleted_needs: &mut [usize],
+    out: &mut Vec<Inst>,
+    stats: &mut GroupStats,
+) {
+    out.push(Inst::Switch);
+    stats.switches_inserted += 1;
+    stats.grouped_loads += pending.len();
+    *stats.group_sizes.entry(pending.len()).or_insert(0) += 1;
+    for p in pending.drain(..) {
+        for e in &dag.succs[p] {
+            if e.needs_completion {
+                uncompleted_needs[e.to] -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsim_asm::ProgramBuilder;
+
+    /// Builds the paper's Figure 4 sor inner-loop flavor: 5 shared loads
+    /// combined into one result.
+    fn sor_like() -> Program {
+        let mut b = ProgramBuilder::new("sor-inner");
+        let base = 100i64;
+        let n = b.load_shared_f(b.const_i(base));
+        let s = b.load_shared_f(b.const_i(base + 1));
+        let e = b.load_shared_f(b.const_i(base + 2));
+        let w = b.load_shared_f(b.const_i(base + 3));
+        let c = b.load_shared_f(b.const_i(base + 4));
+        let avg = b.def_f("avg", (n + s + e + w + c) * 0.2);
+        b.store_shared_f(b.const_i(base + 10), avg.get());
+        b.finish()
+    }
+
+    #[test]
+    fn figure4_five_loads_one_switch() {
+        let p = sor_like();
+        let g = group_shared_loads(&p);
+        assert_eq!(g.stats.switches_inserted, 1, "{}", g.program.listing());
+        assert_eq!(g.stats.grouped_loads, 5);
+        assert_eq!(g.stats.max_group(), 5);
+        assert!((g.stats.grouping_factor() - 5.0).abs() < 1e-12);
+
+        // The five loads are contiguous, and the single switch separates
+        // them from the first use of a loaded value (independent work such
+        // as loading the 0.2 constant may legally sit between group and
+        // switch — it only widens the overlap window).
+        let insts = g.program.insts();
+        let first_load = insts.iter().position(|i| i.is_shared_read()).unwrap();
+        for k in 0..5 {
+            assert!(insts[first_load + k].is_shared_read(), "{}", g.program.listing());
+        }
+        let sw = insts.iter().position(|i| matches!(i, Inst::Switch)).unwrap();
+        let first_use = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Fpu { op: mtsim_isa::FpuOp::Add, .. }))
+            .unwrap();
+        assert!(first_load + 4 < sw && sw < first_use, "{}", g.program.listing());
+    }
+
+    #[test]
+    fn dependent_loads_split_groups() {
+        // b = *(a); c = *(b)  -- pointer chase cannot be grouped.
+        let mut b = ProgramBuilder::new("chase");
+        let pa = b.load_shared(b.const_i(10));
+        let va = b.def_i("va", pa);
+        let pb = b.load_shared(va.get());
+        let vb = b.def_i("vb", pb);
+        b.store_shared(b.const_i(20), vb.get());
+        let p = b.finish();
+        let g = group_shared_loads(&p);
+        assert_eq!(g.stats.switches_inserted, 2, "{}", g.program.listing());
+        assert_eq!(g.stats.max_group(), 1);
+    }
+
+    #[test]
+    fn loads_do_not_cross_shared_stores() {
+        let mut b = ProgramBuilder::new("st-barrier");
+        let x = b.def_i("x", b.load_shared(b.const_i(0)));
+        b.store_shared(b.const_i(1), x.get());
+        let y = b.def_i("y", b.load_shared(b.const_i(2)));
+        b.store_shared(b.const_i(3), y.get());
+        let p = b.finish();
+        let g = group_shared_loads(&p);
+        // The second load must stay after the first store.
+        let insts = g.program.insts();
+        let store1 = insts.iter().position(|i| i.is_shared_write()).unwrap();
+        let load2 = insts
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_shared_read())
+            .nth(1)
+            .unwrap()
+            .0;
+        assert!(load2 > store1, "{}", g.program.listing());
+        assert_eq!(g.stats.switches_inserted, 2);
+    }
+
+    #[test]
+    fn branch_targets_remain_valid() {
+        let mut b = ProgramBuilder::new("looped");
+        let acc = b.def_f("acc", 0.0);
+        b.for_range("i", 0, 8, |b, i| {
+            let v = b.load_shared_f(i.get() + 100);
+            let w = b.load_shared_f(i.get() + 200);
+            b.assign_f(acc, acc.get() + v + w);
+        });
+        b.store_shared_f(b.const_i(300), acc.get());
+        let p = b.finish();
+        let g = group_shared_loads(&p);
+        // All targets point at valid pcs and at block leaders.
+        let blocks = basic_blocks(&g.program);
+        for inst in g.program.insts() {
+            if let Some(Target::Pc(t)) = inst.target() {
+                assert!(blocks.iter().any(|r| r.start == t as usize));
+            }
+        }
+        // Two loads per iteration grouped under a single switch.
+        assert_eq!(g.stats.max_group(), 2, "{}", g.program.listing());
+    }
+
+    #[test]
+    fn blocks_without_loads_are_untouched() {
+        let mut b = ProgramBuilder::new("pure");
+        let x = b.def_i("x", 3);
+        let y = b.def_i("y", x.get() * 7);
+        b.store_local(b.const_i(0), y.get());
+        let p = b.finish();
+        let g = group_shared_loads(&p);
+        assert_eq!(g.program.insts(), p.insts());
+        assert_eq!(g.stats.switches_inserted, 0);
+    }
+
+    #[test]
+    fn discarded_fetch_add_needs_no_switch() {
+        let mut b = ProgramBuilder::new("faa");
+        b.fetch_add_discard(b.const_i(5), b.const_i(1), mtsim_isa::AccessHint::Data);
+        let p = b.finish();
+        let g = group_shared_loads(&p);
+        assert_eq!(g.stats.switches_inserted, 0, "{}", g.program.listing());
+    }
+
+    #[test]
+    fn semantics_preserving_register_order() {
+        // x = load a; x = x + 1; y = load b; store(y + x)
+        let mut b = ProgramBuilder::new("order");
+        let x = b.def_i("x", b.load_shared(b.const_i(0)));
+        b.assign(x, x.get() + 1);
+        let y = b.def_i("y", b.load_shared(b.const_i(1)));
+        b.store_shared(b.const_i(2), y.get() + x.get());
+        let p = b.finish();
+        let g = group_shared_loads(&p);
+        // Both loads are independent (different dests) so they group.
+        assert_eq!(g.stats.max_group(), 2, "{}", g.program.listing());
+        // The increment of x must come after the switch.
+        let insts = g.program.insts();
+        let sw = insts.iter().position(|i| matches!(i, Inst::Switch)).unwrap();
+        let inc = insts
+            .iter()
+            .position(|i| matches!(i, Inst::AluI { imm: 1, .. }))
+            .unwrap();
+        assert!(inc > sw);
+    }
+
+    #[test]
+    fn local_ops_may_move_across_shared_loads() {
+        let mut b = ProgramBuilder::new("mix");
+        let l = b.def_i("l", b.load_local(b.const_i(0)));
+        let s = b.def_i("s", b.load_shared(b.const_i(1)));
+        let t = b.def_i("t", b.load_shared(b.const_i(2)));
+        b.store_local(b.const_i(3), l.get() + 1);
+        b.store_shared(b.const_i(4), s.get() + t.get());
+        let p = b.finish();
+        let g = group_shared_loads(&p);
+        assert_eq!(g.stats.max_group(), 2, "{}", g.program.listing());
+    }
+
+    #[test]
+    #[should_panic(expected = "switch-free")]
+    fn rejects_already_switched_input() {
+        let mut b = ProgramBuilder::new("sw");
+        b.explicit_switch();
+        let p = b.finish();
+        let _ = group_shared_loads(&p);
+    }
+
+    #[test]
+    fn grouped_program_size_grows_only_by_switches() {
+        let p = sor_like();
+        let g = group_shared_loads(&p);
+        assert_eq!(g.program.len(), p.len() + g.stats.switches_inserted);
+    }
+
+    #[test]
+    fn loadpair_groups_with_loads() {
+        let mut b = ProgramBuilder::new("pair");
+        let (x, y) = b.load_pair_shared_f("pos", b.const_i(10));
+        let z = b.load_shared_f(b.const_i(20));
+        let s = b.def_f("s", x.get() + y.get() + z);
+        b.store_shared_f(b.const_i(30), s.get());
+        let p = b.finish();
+        let g = group_shared_loads(&p);
+        assert_eq!(g.stats.switches_inserted, 1, "{}", g.program.listing());
+        assert_eq!(g.stats.grouped_loads, 2); // LoadPair + FLoad
+    }
+}

@@ -1,0 +1,530 @@
+//! # mtsim-rt
+//!
+//! The Sequent-style parallel runtime used by every application:
+//! synchronization primitives built — exactly as the paper says — "out of
+//! Fetch-and-Add's and spinning":
+//!
+//! * [`Barrier`] — a reusable generation-counting barrier;
+//! * [`TicketLock`] — FIFO mutual exclusion;
+//! * [`WorkQueue`] — dynamic self-scheduling over an index space;
+//! * [`FloatCell`] — a lock-protected floating-point accumulator.
+//!
+//! All primitives *emit inline code* into a [`ProgramBuilder`]; the
+//! accesses inside spin loops carry [`AccessHint::Spin`] so the engine's
+//! bandwidth statistics can exclude them, matching the paper's footnote 2
+//! ("we expect a real machine to provide mechanisms to perform these
+//! operations without spinning").
+//!
+//! ## Example
+//!
+//! ```
+//! use mtsim_asm::{ProgramBuilder, SharedLayout};
+//! use mtsim_rt::Barrier;
+//!
+//! let mut layout = SharedLayout::new();
+//! let bar = Barrier::alloc(&mut layout, "bar", 4);
+//! let mut b = ProgramBuilder::new("phase");
+//! // ... phase 1 work ...
+//! bar.emit_wait(&mut b);
+//! // ... phase 2 work ...
+//! let prog = b.finish();
+//! assert!(prog.len() > 0);
+//! ```
+
+use mtsim_asm::{IExpr, IVar, ProgramBuilder, SharedLayout};
+use mtsim_isa::AccessHint;
+
+/// A reusable centralized barrier: one fetch-and-add counter plus a
+/// generation word that arriving threads spin on.
+///
+/// The last arriver resets the counter and bumps the generation; everyone
+/// else spins until the generation changes. Safe for repeated use in loops.
+#[derive(Debug, Clone, Copy)]
+pub struct Barrier {
+    count_addr: i64,
+    gen_addr: i64,
+    participants: i64,
+}
+
+impl Barrier {
+    /// Allocates the barrier's two shared words for `participants` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants == 0`.
+    pub fn alloc(layout: &mut SharedLayout, name: &str, participants: i64) -> Barrier {
+        assert!(participants > 0, "barrier needs at least one participant");
+        let count_addr = layout.alloc(format!("{name}.count"), 1) as i64;
+        let gen_addr = layout.alloc(format!("{name}.gen"), 1) as i64;
+        Barrier { count_addr, gen_addr, participants }
+    }
+
+    /// Number of threads that must arrive.
+    pub fn participants(&self) -> i64 {
+        self.participants
+    }
+
+    /// Emits a barrier wait.
+    pub fn emit_wait(&self, b: &mut ProgramBuilder) {
+        // my_gen must be read before announcing arrival.
+        let my_gen = b.def_i("_bar_gen", b.load_shared(b.const_i(self.gen_addr)));
+        let arrived =
+            b.def_i("_bar_n", b.fetch_add(b.const_i(self.count_addr), 1));
+        b.if_else(
+            arrived.get().eq(self.participants - 1),
+            |b| {
+                // Last arriver: reset, then open the next generation.
+                b.store_shared(b.const_i(self.count_addr), 0);
+                b.store_shared(b.const_i(self.gen_addr), my_gen.get() + 1);
+            },
+            |b| {
+                b.while_(
+                    b.load_shared_hint(b.const_i(self.gen_addr), AccessHint::Spin)
+                        .eq(my_gen.get()),
+                    |_b| {},
+                );
+            },
+        );
+    }
+}
+
+/// FIFO mutual exclusion from a fetch-and-add ticket dispenser and a
+/// now-serving word.
+#[derive(Debug, Clone, Copy)]
+pub struct TicketLock {
+    next_addr: i64,
+    serving_addr: i64,
+}
+
+impl TicketLock {
+    /// Allocates the lock's two shared words.
+    pub fn alloc(layout: &mut SharedLayout, name: &str) -> TicketLock {
+        let next_addr = layout.alloc(format!("{name}.next"), 1) as i64;
+        let serving_addr = layout.alloc(format!("{name}.serving"), 1) as i64;
+        TicketLock { next_addr, serving_addr }
+    }
+
+    /// Emits lock acquisition; returns the ticket, which must be passed to
+    /// [`TicketLock::emit_release`] within the same builder scope.
+    ///
+    /// The holder's scheduling priority is raised for the duration of the
+    /// critical section (a 1-cycle `prio` hint, honored only when the
+    /// machine enables priority scheduling — the paper's §6.2 suggestion).
+    pub fn emit_acquire(&self, b: &mut ProgramBuilder) -> IVar {
+        let ticket = b.def_i("_ticket", b.fetch_add(b.const_i(self.next_addr), 1));
+        b.while_(
+            b.load_shared_hint(b.const_i(self.serving_addr), AccessHint::Spin)
+                .ne(ticket.get()),
+            |_b| {},
+        );
+        b.set_priority(1);
+        ticket
+    }
+
+    /// The ticket-dispenser word address (for compilers that manage the
+    /// ticket themselves, e.g. `mtsim-lang` spilling it to local memory).
+    pub fn next_addr(&self) -> i64 {
+        self.next_addr
+    }
+
+    /// The now-serving word address.
+    pub fn serving_addr(&self) -> i64 {
+        self.serving_addr
+    }
+
+    /// Emits lock release.
+    pub fn emit_release(&self, b: &mut ProgramBuilder, ticket: IVar) {
+        b.store_shared(b.const_i(self.serving_addr), ticket.get() + 1);
+        b.set_priority(0);
+    }
+
+    /// Emits `body` inside an acquire/release pair.
+    pub fn emit_critical(
+        &self,
+        b: &mut ProgramBuilder,
+        body: impl FnOnce(&mut ProgramBuilder),
+    ) {
+        let ticket = self.emit_acquire(b);
+        body(b);
+        self.emit_release(b, ticket);
+    }
+}
+
+/// Dynamic self-scheduling: threads repeatedly grab the next index with
+/// fetch-and-add until the index space `0..total` is exhausted. This is
+/// the paper's "dynamically scheduling the work" pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkQueue {
+    counter_addr: i64,
+}
+
+impl WorkQueue {
+    /// Allocates the queue's counter word.
+    pub fn alloc(layout: &mut SharedLayout, name: &str) -> WorkQueue {
+        let counter_addr = layout.alloc(format!("{name}.counter"), 1) as i64;
+        WorkQueue { counter_addr }
+    }
+
+    /// Emits `body(item)` for every dynamically claimed `item < total`.
+    ///
+    /// `chunk` items are claimed per fetch-and-add; `body` runs once per
+    /// item (the inner chunk loop is emitted around it).
+    pub fn emit_for_each(
+        &self,
+        b: &mut ProgramBuilder,
+        total: impl Into<IExpr>,
+        chunk: i64,
+        body: impl FnOnce(&mut ProgramBuilder, IVar),
+    ) {
+        assert!(chunk > 0, "chunk must be positive");
+        let total = b.def_i("_wq_total", total);
+        let start = b.def_i("_wq_start", 0);
+        let again = b.fresh_label();
+        let done = b.fresh_label();
+        b.place_label(again);
+        b.assign(start, b.fetch_add(b.const_i(self.counter_addr), chunk));
+        b.branch_if(start.get().ge(total.get()), done);
+        // end = min(start + chunk, total)
+        let end = b.def_i("_wq_end", start.get() + chunk);
+        b.if_(end.get().gt(total.get()), |b| b.assign(end, total.get()));
+        b.for_range("_wq_i", start.get(), end.get(), |b, i| body(b, i));
+        b.jump(again);
+        b.place_label(done);
+    }
+}
+
+/// A two-level software combining barrier: threads first combine within
+/// groups of [`CombiningBarrier::RADIX`], and only the last arriver of
+/// each group touches the root counter. This is the software-combining
+/// fallback the paper mentions for networks without hardware combining
+/// ("If hardware combining is not available, software combining
+/// techniques could be used for barriers", §3, citing its reference 26).
+///
+/// Functionally interchangeable with [`Barrier`]; on a machine without
+/// combining it reduces the fetch-and-add pressure on any single memory
+/// word from `N` to `RADIX`.
+#[derive(Debug, Clone, Copy)]
+pub struct CombiningBarrier {
+    groups_addr: i64,
+    root_addr: i64,
+    gen_addr: i64,
+    participants: i64,
+    ngroups: i64,
+}
+
+impl CombiningBarrier {
+    /// Threads per first-level combining group.
+    pub const RADIX: i64 = 4;
+
+    /// Allocates the barrier's counters for `participants` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants == 0`.
+    pub fn alloc(layout: &mut SharedLayout, name: &str, participants: i64) -> CombiningBarrier {
+        assert!(participants > 0, "barrier needs at least one participant");
+        let ngroups = (participants + Self::RADIX - 1) / Self::RADIX;
+        let groups_addr = layout.alloc(format!("{name}.groups"), ngroups as u64) as i64;
+        let root_addr = layout.alloc(format!("{name}.root"), 1) as i64;
+        let gen_addr = layout.alloc(format!("{name}.gen"), 1) as i64;
+        CombiningBarrier { groups_addr, root_addr, gen_addr, participants, ngroups }
+    }
+
+    /// Emits a barrier wait.
+    pub fn emit_wait(&self, b: &mut ProgramBuilder) {
+        let my_gen = b.def_i("_cb_gen", b.load_shared(b.const_i(self.gen_addr)));
+        let group = b.def_i("_cb_grp", b.tid() / Self::RADIX);
+        // Size of this thread's group (the last group may be partial).
+        let size = b.def_i("_cb_size", b.const_i(Self::RADIX));
+        b.if_(group.get().eq(self.ngroups - 1), |b| {
+            b.assign(size, b.const_i(self.participants - (self.ngroups - 1) * Self::RADIX));
+        });
+        let arrived = b.def_i("_cb_n", b.fetch_add(group.get() + self.groups_addr, 1));
+        b.if_(arrived.get().eq(size.get() - 1), |b| {
+            // Group representative: reset the group counter, combine at
+            // the root.
+            b.store_shared(group.get() + self.groups_addr, 0);
+            let r = b.def_i("_cb_r", b.fetch_add(b.const_i(self.root_addr), 1));
+            b.if_(r.get().eq(self.ngroups - 1), |b| {
+                b.store_shared(b.const_i(self.root_addr), 0);
+                b.store_shared(b.const_i(self.gen_addr), my_gen.get() + 1);
+            });
+        });
+        b.while_(
+            b.load_shared_hint(b.const_i(self.gen_addr), AccessHint::Spin).eq(my_gen.get()),
+            |_b| {},
+        );
+    }
+}
+
+/// A lock-protected shared floating-point accumulator (floating-point has
+/// no fetch-and-add, so reductions go through a critical section).
+#[derive(Debug, Clone, Copy)]
+pub struct FloatCell {
+    addr: i64,
+    lock: TicketLock,
+}
+
+impl FloatCell {
+    /// Allocates the cell and its lock.
+    pub fn alloc(layout: &mut SharedLayout, name: &str) -> FloatCell {
+        let addr = layout.alloc(format!("{name}.value"), 1) as i64;
+        let lock = TicketLock::alloc(layout, &format!("{name}.lock"));
+        FloatCell { addr, lock }
+    }
+
+    /// The cell's shared word address (for host-side reads).
+    pub fn addr(&self) -> u64 {
+        self.addr as u64
+    }
+
+    /// Emits an atomic `cell += value`.
+    pub fn emit_add(&self, b: &mut ProgramBuilder, value: impl Into<mtsim_asm::FExpr>) {
+        let v = b.def_f("_acc_v", value);
+        self.lock.emit_critical(b, |b| {
+            let cur = b.def_f("_acc_cur", b.load_shared_f(b.const_i(self.addr)));
+            b.store_shared_f(b.const_i(self.addr), cur.get() + v.get());
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsim_core::{Machine, MachineConfig, SwitchModel};
+    use mtsim_mem::SharedMemory;
+
+    fn machine(prog: &mtsim_asm::Program, layout: &SharedLayout, p: usize, t: usize) -> Machine {
+        Machine::new(
+            MachineConfig::new(SwitchModel::SwitchOnLoad, p, t),
+            prog,
+            SharedMemory::new(layout.size().max(64)),
+        )
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        // Phase 1: each thread adds to A. Phase 2: thread 0 copies A to B.
+        // Without the barrier, A would be incomplete when copied.
+        let mut layout = SharedLayout::new();
+        let a = layout.alloc("A", 1) as i64;
+        let out = layout.alloc("B", 1) as i64;
+        let participants = 12;
+        let bar = Barrier::alloc(&mut layout, "bar", participants);
+
+        let mut b = ProgramBuilder::new("phases");
+        b.fetch_add_discard(b.const_i(a), b.const_i(1), AccessHint::Data);
+        bar.emit_wait(&mut b);
+        b.if_(b.tid().eq(0), |b| {
+            let v = b.def_i("v", b.load_shared(b.const_i(a)));
+            b.store_shared(b.const_i(out), v.get());
+        });
+        let prog = b.finish();
+
+        let fin = machine(&prog, &layout, 4, 3).run().unwrap();
+        assert_eq!(fin.shared.read_i64(out as u64), participants);
+    }
+
+    #[test]
+    fn barrier_is_reusable_in_loops() {
+        // Threads alternate phases 20 times; thread 0 checks the counter
+        // each round by appending to a log slot it owns.
+        let mut layout = SharedLayout::new();
+        let a = layout.alloc("A", 1) as i64;
+        let ok = layout.alloc("ok", 1) as i64;
+        let n = 6;
+        let bar = Barrier::alloc(&mut layout, "bar", n);
+
+        let mut b = ProgramBuilder::new("rounds");
+        let good = b.def_i("good", 0);
+        b.for_range("round", 0, 20, |b, round| {
+            b.fetch_add_discard(b.const_i(a), b.const_i(1), AccessHint::Data);
+            bar.emit_wait(b);
+            b.if_(b.tid().eq(0), |b| {
+                let v = b.def_i("v", b.load_shared(b.const_i(a)));
+                b.if_(v.get().eq((round.get() + 1) * n), |b| {
+                    b.assign(good, good.get() + 1);
+                });
+            });
+            bar.emit_wait(b);
+        });
+        b.if_(b.tid().eq(0), |b| {
+            b.store_shared(b.const_i(ok), good.get());
+        });
+        let prog = b.finish();
+
+        let fin = machine(&prog, &layout, 3, 2).run().unwrap();
+        assert_eq!(fin.shared.read_i64(ok as u64), 20, "every round must see a full barrier");
+    }
+
+    #[test]
+    fn ticket_lock_serializes_increments() {
+        let mut layout = SharedLayout::new();
+        let counter = layout.alloc("counter", 1) as i64;
+        let lock = TicketLock::alloc(&mut layout, "lock");
+
+        let mut b = ProgramBuilder::new("locked");
+        b.for_range("i", 0, 5, |b, _| {
+            lock.emit_critical(b, |b| {
+                let v = b.def_i("v", b.load_shared(b.const_i(counter)));
+                b.store_shared(b.const_i(counter), v.get() + 1);
+            });
+        });
+        let prog = b.finish();
+
+        let fin = machine(&prog, &layout, 4, 2).run().unwrap();
+        assert_eq!(fin.shared.read_i64(counter as u64), 4 * 2 * 5);
+    }
+
+    #[test]
+    fn work_queue_covers_every_item_once() {
+        let mut layout = SharedLayout::new();
+        let marks = layout.alloc("marks", 100) as i64;
+        let wq = WorkQueue::alloc(&mut layout, "wq");
+
+        let mut b = ProgramBuilder::new("dynamic");
+        wq.emit_for_each(&mut b, 100, 7, |b, i| {
+            b.fetch_add_discard(i.get() + marks, b.const_i(1), AccessHint::Data);
+        });
+        let prog = b.finish();
+
+        let fin = machine(&prog, &layout, 4, 2).run().unwrap();
+        for i in 0..100 {
+            assert_eq!(fin.shared.read_i64((marks + i) as u64), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn work_queue_respects_total_smaller_than_chunk() {
+        let mut layout = SharedLayout::new();
+        let marks = layout.alloc("marks", 3) as i64;
+        let wq = WorkQueue::alloc(&mut layout, "wq");
+
+        let mut b = ProgramBuilder::new("small");
+        wq.emit_for_each(&mut b, 3, 16, |b, i| {
+            b.fetch_add_discard(i.get() + marks, b.const_i(1), AccessHint::Data);
+        });
+        let prog = b.finish();
+        let fin = machine(&prog, &layout, 2, 2).run().unwrap();
+        for i in 0..3 {
+            assert_eq!(fin.shared.read_i64((marks + i) as u64), 1);
+        }
+    }
+
+    #[test]
+    fn combining_barrier_separates_phases() {
+        let mut layout = SharedLayout::new();
+        let a = layout.alloc("A", 1) as i64;
+        let out = layout.alloc("B", 1) as i64;
+        let participants = 10; // forces a partial last group
+        let bar = CombiningBarrier::alloc(&mut layout, "cb", participants);
+
+        let mut b = ProgramBuilder::new("cb-phases");
+        b.fetch_add_discard(b.const_i(a), b.const_i(1), AccessHint::Data);
+        bar.emit_wait(&mut b);
+        b.if_(b.tid().eq(0), |b| {
+            let v = b.def_i("v", b.load_shared(b.const_i(a)));
+            b.store_shared(b.const_i(out), v.get());
+        });
+        let prog = b.finish();
+
+        let fin = machine(&prog, &layout, 5, 2).run().unwrap();
+        assert_eq!(fin.shared.read_i64(out as u64), participants);
+    }
+
+    #[test]
+    fn combining_barrier_is_reusable() {
+        let mut layout = SharedLayout::new();
+        let a = layout.alloc("A", 1) as i64;
+        let ok = layout.alloc("ok", 1) as i64;
+        let n = 8;
+        let bar = CombiningBarrier::alloc(&mut layout, "cb", n);
+
+        let mut b = ProgramBuilder::new("cb-rounds");
+        let good = b.def_i("good", 0);
+        b.for_range("round", 0, 12, |b, round| {
+            b.fetch_add_discard(b.const_i(a), b.const_i(1), AccessHint::Data);
+            bar.emit_wait(b);
+            b.if_(b.tid().eq(0), |b| {
+                let v = b.def_i("v", b.load_shared(b.const_i(a)));
+                b.if_(v.get().eq((round.get() + 1) * n), |b| {
+                    b.assign(good, good.get() + 1);
+                });
+            });
+            bar.emit_wait(b);
+        });
+        b.if_(b.tid().eq(0), |b| b.store_shared(b.const_i(ok), good.get()));
+        let prog = b.finish();
+
+        let fin = machine(&prog, &layout, 4, 2).run().unwrap();
+        assert_eq!(fin.shared.read_i64(ok as u64), 12);
+    }
+
+    #[test]
+    fn combining_barrier_spreads_fetch_add_pressure() {
+        // 16 threads: 16 group arrivals spread over 4 words plus 4 root
+        // arrivals = 20 fetch-and-adds, no single word taking more than
+        // RADIX + ngroups.
+        let mut layout = SharedLayout::new();
+        let bar = CombiningBarrier::alloc(&mut layout, "cb", 16);
+        let mut b = ProgramBuilder::new("cb-msg");
+        bar.emit_wait(&mut b);
+        let prog = b.finish();
+        let fin = machine(&prog, &layout, 4, 4).run().unwrap();
+        let faa_msgs = fin.result.traffic.messages_of(mtsim_mem::MsgClass::FetchAddReq);
+        assert_eq!(faa_msgs, 20);
+    }
+
+    #[test]
+    fn float_cell_accumulates_atomically() {
+        let mut layout = SharedLayout::new();
+        let cell = FloatCell::alloc(&mut layout, "sum");
+
+        let mut b = ProgramBuilder::new("fsum");
+        let contribution = b.tid().to_f() + 0.5;
+        cell.emit_add(&mut b, contribution);
+        let prog = b.finish();
+
+        let fin = machine(&prog, &layout, 4, 2).run().unwrap();
+        // sum over tid 0..8 of (tid + 0.5) = 28 + 4 = 32
+        assert!((fin.shared.read_f64(cell.addr()) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spin_traffic_is_excluded_from_bandwidth() {
+        let mut layout = SharedLayout::new();
+        let bar = Barrier::alloc(&mut layout, "bar", 8);
+        let mut b = ProgramBuilder::new("spinny");
+        bar.emit_wait(&mut b);
+        let prog = b.finish();
+
+        let fin = machine(&prog, &layout, 4, 2).run().unwrap();
+        assert!(fin.result.traffic.spin_messages() > 0, "spinning must be tagged");
+    }
+
+    #[test]
+    fn primitives_survive_the_grouping_pass() {
+        // The grouping pass must not break barrier/lock semantics.
+        let mut layout = SharedLayout::new();
+        let counter = layout.alloc("counter", 1) as i64;
+        let lock = TicketLock::alloc(&mut layout, "lock");
+        let bar = Barrier::alloc(&mut layout, "bar", 6);
+
+        let mut b = ProgramBuilder::new("combo");
+        lock.emit_critical(&mut b, |b| {
+            let v = b.def_i("v", b.load_shared(b.const_i(counter)));
+            b.store_shared(b.const_i(counter), v.get() + 1);
+        });
+        bar.emit_wait(&mut b);
+        let prog = mtsim_opt::group_shared_loads(&b.finish()).program;
+
+        let fin = Machine::new(
+            MachineConfig::new(SwitchModel::ExplicitSwitch, 3, 2),
+            &prog,
+            SharedMemory::new(layout.size()),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(fin.shared.read_i64(counter as u64), 6);
+    }
+}

@@ -1,0 +1,128 @@
+//! Windowed bandwidth profiles: quantifying §6.1's burstiness warning.
+
+use mtsim_mem::TraceEvent;
+
+/// Bits-per-cycle demand over fixed windows of the run, from a trace.
+///
+/// The paper reports only run-average bandwidth and cautions that "in
+/// reality the channels might need to be wider than this because traffic
+/// will be bursty and have periods of higher bandwidth requirements";
+/// the profile's `peak/mean` ratio is that burstiness, quantified.
+#[derive(Debug, Clone)]
+pub struct BandwidthProfile {
+    window: u64,
+    processors: u64,
+    /// Total non-spin bits per window.
+    bits: Vec<u64>,
+}
+
+impl BandwidthProfile {
+    /// Builds the profile with the given window size (cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `processors == 0`.
+    pub fn new(events: &[TraceEvent], window: u64, processors: u64) -> BandwidthProfile {
+        assert!(window > 0, "window must be positive");
+        assert!(processors > 0, "need at least one processor");
+        let end = events.iter().map(|e| e.time).max().unwrap_or(0);
+        let nwin = (end / window + 1) as usize;
+        let mut bits = vec![0u64; nwin];
+        for e in events {
+            if !e.spin {
+                bits[(e.time / window) as usize] += e.kind.bits();
+            }
+        }
+        BandwidthProfile { window, processors, bits }
+    }
+
+    /// Window size in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when the trace was empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    /// Per-window bits/cycle/processor series.
+    pub fn series(&self) -> impl Iterator<Item = f64> + '_ {
+        self.bits
+            .iter()
+            .map(move |&b| b as f64 / self.window as f64 / self.processors as f64)
+    }
+
+    /// Mean demand over the whole run.
+    pub fn mean_bits_per_cycle(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.bits.iter().sum();
+        total as f64 / (self.bits.len() as u64 * self.window) as f64 / self.processors as f64
+    }
+
+    /// Demand of the busiest window.
+    pub fn peak_bits_per_cycle(&self) -> f64 {
+        self.series().fold(0.0, f64::max)
+    }
+
+    /// Burstiness: peak/mean (1.0 = perfectly smooth; 0.0 for an empty
+    /// trace).
+    pub fn burstiness(&self) -> f64 {
+        let mean = self.mean_bits_per_cycle();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.peak_bits_per_cycle() / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsim_mem::TraceKind;
+
+    fn ev(time: u64, spin: bool) -> TraceEvent {
+        TraceEvent { time, proc: 0, thread: 0, kind: TraceKind::Read, addr: 0, spin }
+    }
+
+    #[test]
+    fn windows_partition_time() {
+        let events = vec![ev(0, false), ev(99, false), ev(100, false)];
+        let p = BandwidthProfile::new(&events, 100, 1);
+        assert_eq!(p.len(), 2);
+        let series: Vec<f64> = p.series().collect();
+        assert!(series[0] > series[1]);
+    }
+
+    #[test]
+    fn burstiness_of_a_front_loaded_trace() {
+        // All traffic in the first of ten windows: peak = 10x mean.
+        let events: Vec<_> = (0..10).map(|k| ev(k, false)).chain([ev(999, false)]).collect();
+        let p = BandwidthProfile::new(&events, 100, 1);
+        assert_eq!(p.len(), 10);
+        assert!(p.burstiness() > 5.0, "burstiness {}", p.burstiness());
+    }
+
+    #[test]
+    fn spin_is_excluded() {
+        let events = vec![ev(0, true), ev(1, true)];
+        let p = BandwidthProfile::new(&events, 10, 1);
+        assert!(p.is_empty());
+        assert_eq!(p.burstiness(), 0.0);
+    }
+
+    #[test]
+    fn smooth_traffic_has_low_burstiness() {
+        let events: Vec<_> = (0..1000).map(|k| ev(k, false)).collect();
+        let p = BandwidthProfile::new(&events, 100, 1);
+        assert!((p.burstiness() - 1.0).abs() < 0.05, "{}", p.burstiness());
+    }
+}

@@ -1,0 +1,40 @@
+//! # mtsim-trace
+//!
+//! Offline analysis of shared-access traces recorded by the engine
+//! (`MachineConfig::collect_trace`). The paper's methodology is
+//! trace-based (§3: "we use trace analysis to determine this
+//! information"); this crate packages the analyses the evaluation needs:
+//!
+//! * [`CacheSweep`] — replay the trace against many cache geometries at
+//!   once, without re-running the program (backs the cache-geometry
+//!   ablation; the paper leaves its geometry unspecified, see DESIGN.md);
+//! * [`BandwidthProfile`] — windowed bits/cycle, quantifying the
+//!   *burstiness* the paper warns about in §6.1 ("traffic will be bursty
+//!   and have periods of higher bandwidth requirements");
+//! * [`stride_histogram`] / [`reuse_profile`] — per-thread locality
+//!   characterization (why mp3d defeats the cache and blkmat doesn't);
+//! * [`save_trace`] / [`load_trace`] — a plain-text interchange format.
+//!
+//! ## Example
+//!
+//! ```
+//! use mtsim_mem::{TraceEvent, TraceKind};
+//! use mtsim_trace::BandwidthProfile;
+//!
+//! let events = vec![
+//!     TraceEvent { time: 5, proc: 0, thread: 0, kind: TraceKind::Read, addr: 1, spin: false },
+//!     TraceEvent { time: 250, proc: 0, thread: 0, kind: TraceKind::Write, addr: 2, spin: false },
+//! ];
+//! let profile = BandwidthProfile::new(&events, 100, 1);
+//! assert!(profile.peak_bits_per_cycle() > profile.mean_bits_per_cycle());
+//! ```
+
+mod bandwidth;
+mod locality;
+mod serialize;
+mod sweep;
+
+pub use bandwidth::BandwidthProfile;
+pub use locality::{reuse_profile, stride_histogram, ReuseProfile, StrideHistogram};
+pub use serialize::{load_trace, save_trace, TraceFormatError};
+pub use sweep::{CacheSweep, SweepPoint};

@@ -1,0 +1,146 @@
+//! Locality characterization: per-thread stride and reuse-time profiles.
+//!
+//! These explain the paper's cache results mechanically: blkmat's unit
+//! strides cache perfectly, mp3d's scattered cell updates do not.
+
+use mtsim_mem::TraceEvent;
+use std::collections::HashMap;
+
+/// Distribution of address deltas between a thread's consecutive shared
+/// accesses, bucketed as 0 (same word), ±1, small (|d| ≤ 8), medium
+/// (|d| ≤ 256), large.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StrideHistogram {
+    /// Repeats of the same address.
+    pub same: u64,
+    /// Unit strides (±1 word).
+    pub unit: u64,
+    /// |delta| in 2..=8 words.
+    pub small: u64,
+    /// |delta| in 9..=256 words.
+    pub medium: u64,
+    /// |delta| beyond 256 words.
+    pub large: u64,
+}
+
+impl StrideHistogram {
+    /// Total transitions observed.
+    pub fn total(&self) -> u64 {
+        self.same + self.unit + self.small + self.medium + self.large
+    }
+
+    /// Fraction of transitions within a cache-line-friendly distance
+    /// (same/unit/small).
+    pub fn local_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.same + self.unit + self.small) as f64 / t as f64
+        }
+    }
+}
+
+/// Builds the per-thread stride histogram over all non-spin accesses.
+pub fn stride_histogram(events: &[TraceEvent]) -> StrideHistogram {
+    let mut last: HashMap<u32, u64> = HashMap::new();
+    let mut h = StrideHistogram::default();
+    for e in events.iter().filter(|e| !e.spin) {
+        if let Some(prev) = last.insert(e.thread, e.addr) {
+            let d = e.addr.abs_diff(prev);
+            match d {
+                0 => h.same += 1,
+                1 => h.unit += 1,
+                2..=8 => h.small += 1,
+                9..=256 => h.medium += 1,
+                _ => h.large += 1,
+            }
+        }
+    }
+    h
+}
+
+/// Reuse-time profile: for every re-access of an address, how many cycles
+/// passed since the previous access (log₂ buckets).
+#[derive(Debug, Clone, Default)]
+pub struct ReuseProfile {
+    /// `buckets[k]` counts reuses with `2^k <= dt < 2^(k+1)` (bucket 0 is
+    /// `dt <= 1`); capped at bucket 20.
+    pub buckets: [u64; 21],
+    /// Accesses to never-before-seen addresses.
+    pub cold: u64,
+}
+
+impl ReuseProfile {
+    /// Total re-accesses.
+    pub fn reuses(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of reuses within `dt <= horizon` cycles (a proxy for how
+    /// much a cache with a given effective retention helps).
+    pub fn fraction_within(&self, horizon: u64) -> f64 {
+        let total = self.reuses();
+        if total == 0 {
+            return 0.0;
+        }
+        let cap = if horizon <= 1 { 0 } else { (64 - (horizon - 1).leading_zeros()) as usize };
+        let within: u64 = self.buckets.iter().take(cap.min(20) + 1).sum();
+        within as f64 / total as f64
+    }
+}
+
+/// Builds the reuse-time profile over all non-spin accesses (all threads,
+/// since the cache is per-processor and shared among its threads).
+pub fn reuse_profile(events: &[TraceEvent]) -> ReuseProfile {
+    let mut last: HashMap<u64, u64> = HashMap::new();
+    let mut p = ReuseProfile::default();
+    for e in events.iter().filter(|e| !e.spin) {
+        match last.insert(e.addr, e.time) {
+            Some(prev) => {
+                let dt = e.time.saturating_sub(prev);
+                let b = if dt <= 1 { 0 } else { (64 - (dt - 1).leading_zeros()) as usize };
+                p.buckets[b.min(20)] += 1;
+            }
+            None => p.cold += 1,
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsim_mem::TraceKind;
+
+    fn ev(thread: u32, time: u64, addr: u64) -> TraceEvent {
+        TraceEvent { time, proc: 0, thread, kind: TraceKind::Read, addr, spin: false }
+    }
+
+    #[test]
+    fn strides_are_per_thread() {
+        // Thread 0 walks sequentially; thread 1 interleaves far away.
+        let events = vec![ev(0, 0, 10), ev(1, 1, 5000), ev(0, 2, 11), ev(1, 3, 5001)];
+        let h = stride_histogram(&events);
+        assert_eq!(h.unit, 2);
+        assert_eq!(h.large, 0);
+        assert!((h.local_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scattered_access_is_nonlocal() {
+        let events: Vec<_> = (0..64).map(|k| ev(0, k, (k * 7919) % 4096)).collect();
+        let h = stride_histogram(&events);
+        assert!(h.local_fraction() < 0.3, "{h:?}");
+    }
+
+    #[test]
+    fn reuse_profile_counts_cold_and_reuse() {
+        let events = vec![ev(0, 0, 1), ev(0, 50, 2), ev(0, 100, 1)];
+        let p = reuse_profile(&events);
+        assert_eq!(p.cold, 2);
+        assert_eq!(p.reuses(), 1);
+        assert!(p.fraction_within(128) > 0.99);
+        assert_eq!(p.fraction_within(2), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Plain-text trace interchange: one event per line,
+//! `time proc thread kind addr [spin]`.
+
+use mtsim_mem::{TraceEvent, TraceKind};
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFormatError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceFormatError {}
+
+fn kind_name(k: TraceKind) -> &'static str {
+    match k {
+        TraceKind::Read => "r",
+        TraceKind::Write => "w",
+        TraceKind::ReadPair => "rp",
+        TraceKind::WritePair => "wp",
+        TraceKind::FetchAdd => "fa",
+    }
+}
+
+fn kind_parse(s: &str) -> Option<TraceKind> {
+    Some(match s {
+        "r" => TraceKind::Read,
+        "w" => TraceKind::Write,
+        "rp" => TraceKind::ReadPair,
+        "wp" => TraceKind::WritePair,
+        "fa" => TraceKind::FetchAdd,
+        _ => return None,
+    })
+}
+
+/// Serializes a trace to the text format.
+pub fn save_trace(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(events.len() * 24);
+    for e in events {
+        let _ = write!(out, "{} {} {} {} {}", e.time, e.proc, e.thread, kind_name(e.kind), e.addr);
+        if e.spin {
+            out.push_str(" spin");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text format back into events. Blank lines and `#` comments
+/// are ignored.
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn load_trace(text: &str) -> Result<Vec<TraceEvent>, TraceFormatError> {
+    let mut events = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let s = raw.split('#').next().unwrap_or("").trim();
+        if s.is_empty() {
+            continue;
+        }
+        let err = |message: String| TraceFormatError { line, message };
+        let fields: Vec<&str> = s.split_whitespace().collect();
+        if fields.len() < 5 || fields.len() > 6 {
+            return Err(err(format!("expected 5-6 fields, found {}", fields.len())));
+        }
+        let parse_u64 =
+            |f: &str| f.parse::<u64>().map_err(|_| err(format!("bad number '{f}'")));
+        let time = parse_u64(fields[0])?;
+        let proc = parse_u64(fields[1])? as u32;
+        let thread = parse_u64(fields[2])? as u32;
+        let kind = kind_parse(fields[3]).ok_or_else(|| err(format!("bad kind '{}'", fields[3])))?;
+        let addr = parse_u64(fields[4])?;
+        let spin = match fields.get(5) {
+            None => false,
+            Some(&"spin") => true,
+            Some(other) => return Err(err(format!("bad flag '{other}'"))),
+        };
+        events.push(TraceEvent { time, proc, thread, kind, addr, spin });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let events = vec![
+            TraceEvent { time: 0, proc: 1, thread: 3, kind: TraceKind::Read, addr: 42, spin: false },
+            TraceEvent { time: 7, proc: 0, thread: 0, kind: TraceKind::WritePair, addr: 8, spin: false },
+            TraceEvent { time: 9, proc: 2, thread: 5, kind: TraceKind::FetchAdd, addr: 0, spin: true },
+        ];
+        let text = save_trace(&events);
+        assert_eq!(load_trace(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n1 0 0 r 5\n";
+        assert_eq!(load_trace(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = load_trace("1 0 0 r 5\n1 0 0 zz 5\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("zz"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Trace analysis against real application traces.
+
+use mtsim_apps::{build_app, AppKind, Scale};
+use mtsim_core::{Machine, MachineConfig, SwitchModel};
+use mtsim_mem::CacheParams;
+use mtsim_trace::{load_trace, reuse_profile, save_trace, stride_histogram, BandwidthProfile, CacheSweep};
+
+fn traced_run(kind: AppKind) -> (Vec<mtsim_mem::TraceEvent>, u64, usize) {
+    let procs = 2;
+    let app = build_app(kind, Scale::Tiny, procs * 2);
+    let cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, procs, 2).with_trace(true);
+    let fin = Machine::new(cfg, &app.program, app.shared.clone()).run().unwrap();
+    app.verify(&fin.shared).unwrap();
+    let cycles = fin.result.cycles;
+    (fin.result.trace.expect("trace requested"), cycles, procs)
+}
+
+#[test]
+fn traces_are_time_ordered_and_complete() {
+    let (trace, _, _) = traced_run(AppKind::Sor);
+    assert!(!trace.is_empty());
+    assert!(trace.windows(2).all(|w| w[0].time <= w[1].time), "global issue order");
+    // sor: five reads per stencil update, one write.
+    let reads = trace.iter().filter(|e| e.kind.is_read() && !e.spin).count();
+    let writes = trace.iter().filter(|e| e.kind.is_write() && !e.spin).count();
+    assert!(reads > 3 * writes, "{reads} reads vs {writes} writes");
+}
+
+#[test]
+fn mp3d_cell_updates_are_scattered_but_record_accesses_are_not() {
+    // The cache-hostile part of mp3d is specifically its space-cell
+    // fetch-and-adds (random cells); its own-record field accesses are
+    // dense. The stride histogram separates the two components.
+    let (mp, ..) = traced_run(AppKind::Mp3d);
+    let faa: Vec<_> = mp
+        .iter()
+        .filter(|e| e.kind == mtsim_mem::TraceKind::FetchAdd && !e.spin)
+        .copied()
+        .collect();
+    let rest: Vec<_> = mp
+        .iter()
+        .filter(|e| e.kind != mtsim_mem::TraceKind::FetchAdd && !e.spin)
+        .copied()
+        .collect();
+    let faa_h = stride_histogram(&faa);
+    let rest_h = stride_histogram(&rest);
+    assert!(
+        faa_h.local_fraction() + 0.3 < rest_h.local_fraction(),
+        "faa {:.2} vs rest {:.2}",
+        faa_h.local_fraction(),
+        rest_h.local_fraction()
+    );
+}
+
+#[test]
+fn cache_sweep_matches_engine_hit_rate_regime() {
+    // Replaying the trace at the engine's default geometry should land in
+    // the same hit-rate regime as the conditional-switch engine run.
+    let (trace, _, procs) = traced_run(AppKind::Ugray);
+    let sweep = CacheSweep::new(&trace, procs);
+    let pt = sweep.run(CacheParams::default());
+
+    let app = build_app(AppKind::Ugray, Scale::Tiny, procs * 2);
+    let cfg = MachineConfig::new(SwitchModel::ConditionalSwitch, procs, 2);
+    let engine = Machine::new(cfg, &app.grouped().0, app.shared.clone())
+        .run()
+        .unwrap()
+        .result
+        .cache
+        .unwrap();
+    let delta = (pt.stats.hit_rate() - engine.hit_rate()).abs();
+    assert!(
+        delta < 0.15,
+        "replay {:.2} vs engine {:.2}",
+        pt.stats.hit_rate(),
+        engine.hit_rate()
+    );
+}
+
+#[test]
+fn geometry_sweep_is_monotone_in_capacity() {
+    let (trace, _, procs) = traced_run(AppKind::Sor);
+    let sweep = CacheSweep::new(&trace, procs);
+    let grid = [
+        CacheParams { lines: 8, line_words: 4 },
+        CacheParams { lines: 64, line_words: 4 },
+        CacheParams { lines: 512, line_words: 4 },
+    ];
+    let pts = sweep.run_all(&grid);
+    assert!(pts[0].stats.hit_rate() <= pts[1].stats.hit_rate() + 0.02);
+    assert!(pts[1].stats.hit_rate() <= pts[2].stats.hit_rate() + 0.02);
+}
+
+#[test]
+fn bandwidth_profile_and_reuse_on_real_trace() {
+    let (trace, cycles, procs) = traced_run(AppKind::Water);
+    let profile = BandwidthProfile::new(&trace, (cycles / 20).max(1), procs as u64);
+    assert!(profile.mean_bits_per_cycle() > 0.0);
+    assert!(profile.burstiness() >= 1.0);
+
+    let reuse = reuse_profile(&trace);
+    // Water re-reads every molecule's position each force phase.
+    assert!(reuse.reuses() > reuse.cold);
+}
+
+#[test]
+fn traces_roundtrip_through_text() {
+    let (trace, ..) = traced_run(AppKind::Locus);
+    let text = save_trace(&trace);
+    assert_eq!(load_trace(&text).unwrap(), trace);
+}

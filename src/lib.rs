@@ -1,0 +1,17 @@
+//! # mtsim — umbrella crate
+//!
+//! Re-exports the full public API of the `mtsim` workspace, a from-scratch
+//! reproduction of Boothe & Ranade, *Improved Multithreading Techniques for
+//! Hiding Communication Latency in Multiprocessors* (ISCA 1992).
+//!
+//! See the README for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use mtsim_apps as apps;
+pub use mtsim_asm as asm;
+pub use mtsim_core as core;
+pub use mtsim_isa as isa;
+pub use mtsim_mem as mem;
+pub use mtsim_opt as opt;
+pub use mtsim_rt as rt;
+pub use mtsim_lang as lang;
+pub use mtsim_trace as trace;

@@ -1,0 +1,194 @@
+//! Shape checks for the paper's headline claims, at test-friendly scale.
+//!
+//! These assert the *qualitative* results of the paper — who wins, by
+//! roughly what factor, where the plateaus are — not the absolute 1992
+//! numbers (see EXPERIMENTS.md for the quantitative comparison).
+
+use mtsim::apps::{app_builder, baseline_cycles, build_app, efficiency, run_app, AppKind, Scale};
+use mtsim::core::{MachineConfig, SwitchModel};
+
+fn cfgm(model: SwitchModel, p: usize, t: usize) -> MachineConfig {
+    let mut c = MachineConfig::new(model, p, t);
+    c.max_cycles = 500_000_000;
+    c
+}
+
+/// §5: "This explicit-switch model ... is shown to eliminate from 50% to
+/// 80% of the context switches needed by the switch-on-load model."
+#[test]
+fn grouping_eliminates_half_to_most_switches() {
+    for kind in [AppKind::Sor, AppKind::Water, AppKind::Mp3d, AppKind::Ugray] {
+        let app = build_app(kind, Scale::Tiny, 4);
+        let sol = run_app(&app, cfgm(SwitchModel::SwitchOnLoad, 2, 2)).unwrap();
+        let exp = run_app(&app, cfgm(SwitchModel::ExplicitSwitch, 2, 2)).unwrap();
+        let ratio = exp.switches_taken as f64 / sol.switches_taken as f64;
+        assert!(
+            ratio < 0.65,
+            "{kind}: explicit-switch kept {:.0}% of switches",
+            ratio * 100.0
+        );
+    }
+}
+
+/// §5: grouping must never make an application slower at equal T (the
+/// switch-instruction penalty is overwhelmed by the grouping benefit).
+#[test]
+fn explicit_switch_dominates_switch_on_load() {
+    for kind in AppKind::ALL {
+        let app = build_app(kind, Scale::Tiny, 8);
+        let sol = run_app(&app, cfgm(SwitchModel::SwitchOnLoad, 2, 4)).unwrap();
+        let exp = run_app(&app, cfgm(SwitchModel::ExplicitSwitch, 2, 4)).unwrap();
+        assert!(
+            (exp.cycles as f64) < 1.05 * sol.cycles as f64,
+            "{kind}: explicit {} vs switch-on-load {}",
+            exp.cycles,
+            sol.cycles
+        );
+    }
+}
+
+/// §4: short-run-length applications (sor) plateau under switch-on-load
+/// while grouping unlocks them (the Figure 4 story).
+#[test]
+fn sor_breaks_its_switch_on_load_plateau() {
+    let build = app_builder(AppKind::Sor, Scale::Small);
+    let baseline = baseline_cycles(&build);
+    let procs = 2;
+    let best = |model: SwitchModel| {
+        [4usize, 8, 12]
+            .iter()
+            .map(|&t| {
+                let app = build(procs * t);
+                let r = run_app(&app, cfgm(model, procs, t)).unwrap();
+                efficiency(baseline, procs, r.cycles)
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let sol = best(SwitchModel::SwitchOnLoad);
+    let exp = best(SwitchModel::ExplicitSwitch);
+    assert!(exp > sol + 0.25, "explicit {exp:.2} should far exceed switch-on-load {sol:.2}");
+}
+
+/// Table 8: with caches + conditional switch, modest thread counts reach
+/// high efficiency for the cache-friendly applications.
+#[test]
+fn conditional_switch_needs_few_threads() {
+    for kind in [AppKind::Blkmat, AppKind::Ugray] {
+        let build = app_builder(kind, Scale::Small);
+        let baseline = baseline_cycles(&build);
+        let procs = 2;
+        let reached = (1..=6).any(|t| {
+            let app = build(procs * t);
+            let r = run_app(&app, cfgm(SwitchModel::ConditionalSwitch, procs, t)).unwrap();
+            efficiency(baseline, procs, r.cycles) >= 0.8
+        });
+        assert!(reached, "{kind} should reach 80% efficiency within 6 threads");
+    }
+}
+
+/// §6.1: mp3d's poor locality keeps it the bandwidth hog even with caches.
+#[test]
+fn mp3d_is_the_bandwidth_outlier() {
+    let mut rows: Vec<(AppKind, f64, f64)> = AppKind::ALL
+        .iter()
+        .map(|&kind| {
+            let app = build_app(kind, Scale::Small, 8);
+            let r = run_app(&app, cfgm(SwitchModel::ConditionalSwitch, 4, 2)).unwrap();
+            (kind, r.bits_per_cycle(), r.cache.unwrap().hit_rate())
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    assert_eq!(rows[0].0, AppKind::Mp3d, "bandwidth ranking: {rows:?}");
+}
+
+/// §6.1: caching slashes bandwidth for the locality-friendly applications.
+#[test]
+fn caching_cuts_bandwidth_for_friendly_apps() {
+    // sor's write-through stores (one per five loads) bound its savings.
+    for (kind, factor) in
+        [(AppKind::Sor, 0.75), (AppKind::Ugray, 0.5), (AppKind::Water, 0.5)]
+    {
+        let app = build_app(kind, Scale::Small, 8);
+        let un = run_app(&app, cfgm(SwitchModel::ExplicitSwitch, 4, 2)).unwrap();
+        let ca = run_app(&app, cfgm(SwitchModel::ConditionalSwitch, 4, 2)).unwrap();
+        assert!(
+            ca.bits_per_cycle() < factor * un.bits_per_cycle(),
+            "{kind}: cached {:.2} vs uncached {:.2} bits/cycle",
+            ca.bits_per_cycle(),
+            un.bits_per_cycle()
+        );
+        assert!(ca.cache.unwrap().hit_rate() > 0.9, "{kind} hit rate");
+    }
+}
+
+/// Figure 2 flavor: the water static balance is perfect only when the
+/// thread count divides the molecule count.
+#[test]
+fn water_efficiency_is_erratic_in_thread_count() {
+    use mtsim::apps::water::{build_water, WaterParams};
+    let params = WaterParams { n_mol: 36, iters: 1, seed: 7 };
+    let baseline = {
+        let app = build_water(params, 1);
+        run_app(&app, MachineConfig::ideal(1)).unwrap().cycles
+    };
+    // 18 threads divide 36 evenly; 24 do not (chunks of 1 and 2).
+    let eff_at = |p: usize| {
+        let app = build_water(params, p);
+        let mut c = MachineConfig::ideal(p);
+        c.max_cycles = 500_000_000;
+        efficiency(baseline, p, run_app(&app, c).unwrap().cycles)
+    };
+    let balanced = eff_at(18);
+    let imbalanced = eff_at(24);
+    assert!(
+        balanced > imbalanced + 0.15,
+        "divisible thread count {balanced:.2} should beat non-divisible {imbalanced:.2}"
+    );
+}
+
+/// Table 5's last column: the reorganization penalty is small.
+#[test]
+fn reorganization_penalty_is_a_few_percent() {
+    for kind in AppKind::ALL {
+        let app = build_app(kind, Scale::Tiny, 1);
+        let mut c = MachineConfig::ideal(1);
+        c.max_cycles = 500_000_000;
+        let orig = mtsim::apps::run_app_with_program(&app, &app.program, c.clone()).unwrap();
+        let (grouped, _) = app.grouped();
+        let re = mtsim::apps::run_app_with_program(&app, &grouped, c).unwrap();
+        let penalty = re.cycles as f64 / orig.cycles as f64 - 1.0;
+        assert!(
+            (-0.005..0.12).contains(&penalty),
+            "{kind}: penalty {:.1}%",
+            penalty * 100.0
+        );
+    }
+}
+
+/// Table 2 vs Table 4: grouping eliminates the troublesome 1-2 cycle runs.
+#[test]
+fn grouping_removes_short_runs() {
+    let app = build_app(AppKind::Sor, Scale::Tiny, 4);
+    let sol = run_app(&app, cfgm(SwitchModel::SwitchOnLoad, 2, 2)).unwrap();
+    let exp = run_app(&app, cfgm(SwitchModel::ExplicitSwitch, 2, 2)).unwrap();
+    let short_sol = sol.run_lengths.fraction_at(1) + sol.run_lengths.fraction_at(2);
+    let short_exp = exp.run_lengths.fraction_at(1) + exp.run_lengths.fraction_at(2);
+    assert!(short_sol > 0.3, "sor's ungrouped runs are dominated by 1-2 cycles: {short_sol}");
+    assert!(short_exp < 0.05, "grouping should erase them: {short_exp}");
+    assert!(exp.run_lengths.mean() > 2.5 * sol.run_lengths.mean());
+}
+
+/// Cross-model determinism: every model computes exactly the same verified
+/// result, and repeated runs are cycle-identical.
+#[test]
+fn determinism_across_runs_and_models() {
+    for kind in [AppKind::Sieve, AppKind::Locus] {
+        for model in [SwitchModel::SwitchOnLoad, SwitchModel::ConditionalSwitch] {
+            let app = build_app(kind, Scale::Tiny, 4);
+            let a = run_app(&app, cfgm(model, 2, 2)).unwrap();
+            let b = run_app(&app, cfgm(model, 2, 2)).unwrap();
+            assert_eq!(a.cycles, b.cycles, "{kind}/{model}");
+            assert_eq!(a.switches_taken, b.switches_taken, "{kind}/{model}");
+        }
+    }
+}

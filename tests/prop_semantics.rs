@@ -1,0 +1,175 @@
+//! Property-based tests: the builder + engine evaluate expressions exactly
+//! like a host-side reference interpreter, and the grouping pass preserves
+//! program semantics on arbitrary generated programs.
+
+use mtsim::asm::{IExpr, Program, ProgramBuilder};
+use mtsim::core::{Machine, MachineConfig, SwitchModel};
+use mtsim::mem::SharedMemory;
+use mtsim::opt::group_shared_loads;
+use proptest::prelude::*;
+
+const MEM_WORDS: u64 = 64;
+
+/// Host model of the machine's integer semantics.
+fn host_alu(op: u8, a: i64, b: i64) -> i64 {
+    match op {
+        0 => a.wrapping_add(b),
+        1 => a.wrapping_sub(b),
+        2 => a.wrapping_mul(b),
+        3 => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        4 => a & b,
+        5 => a | b,
+        6 => a ^ b,
+        _ => unreachable!(),
+    }
+}
+
+/// A host-evaluable integer expression over the initial memory image.
+#[derive(Debug, Clone)]
+enum HExpr {
+    Const(i64),
+    Load(u64),
+    Bin(u8, Box<HExpr>, Box<HExpr>),
+}
+
+impl HExpr {
+    fn eval(&self, mem: &[i64]) -> i64 {
+        match self {
+            HExpr::Const(v) => *v,
+            HExpr::Load(a) => mem[*a as usize],
+            HExpr::Bin(op, l, r) => host_alu(*op, l.eval(mem), r.eval(mem)),
+        }
+    }
+
+    fn to_iexpr(&self, b: &ProgramBuilder) -> IExpr {
+        match self {
+            HExpr::Const(v) => IExpr::Const(*v),
+            HExpr::Load(a) => b.load_shared(*a as i64),
+            HExpr::Bin(op, l, r) => {
+                let le = l.to_iexpr(b);
+                let re = r.to_iexpr(b);
+                match op {
+                    0 => le + re,
+                    1 => le - re,
+                    2 => le * re,
+                    3 => le / re,
+                    4 => le & re,
+                    5 => le | re,
+                    _ => le ^ re,
+                }
+            }
+        }
+    }
+}
+
+fn hexpr_strategy() -> impl Strategy<Value = HExpr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(HExpr::Const),
+        (0u64..MEM_WORDS).prop_map(HExpr::Load),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        (0u8..7, inner.clone(), inner)
+            .prop_map(|(op, l, r)| HExpr::Bin(op, Box::new(l), Box::new(r)))
+    })
+}
+
+fn run_single(program: &Program, init: &[i64], model: SwitchModel) -> SharedMemory {
+    let mut mem = SharedMemory::new(MEM_WORDS + 8);
+    for (k, &v) in init.iter().enumerate() {
+        mem.write_i64(k as u64, v);
+    }
+    let mut cfg = MachineConfig::new(model, 1, 1);
+    cfg.max_cycles = 10_000_000;
+    Machine::new(cfg, program, mem).run().expect("run").shared
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary expression trees compile and evaluate to exactly the
+    /// host-reference value, under both a plain and a split-phase model.
+    #[test]
+    fn expressions_match_host_reference(
+        expr in hexpr_strategy(),
+        init in proptest::collection::vec(-1000i64..1000, MEM_WORDS as usize),
+    ) {
+        let want = expr.eval(&init);
+        let mut b = ProgramBuilder::new("prop");
+        let e = expr.to_iexpr(&b);
+        let v = b.def_i("v", e);
+        b.store_shared(b.const_i(MEM_WORDS as i64), v.get());
+        let prog = b.finish();
+
+        for model in [SwitchModel::SwitchOnLoad, SwitchModel::SwitchOnUse] {
+            let out = run_single(&prog, &init, model);
+            prop_assert_eq!(out.read_i64(MEM_WORDS), want, "model {}", model);
+        }
+    }
+
+    /// The grouping pass preserves semantics: the full final memory image
+    /// of the grouped program equals the original's, for arbitrary
+    /// sequences of loads, stores, fetch-adds and expression statements.
+    #[test]
+    fn grouping_pass_preserves_memory_image(
+        stmts in proptest::collection::vec(
+            (0u8..3, 0u64..MEM_WORDS, hexpr_strategy()), 1..12),
+        init in proptest::collection::vec(-100i64..100, MEM_WORDS as usize),
+    ) {
+        let mut b = ProgramBuilder::new("prop-group");
+        for (kind, addr, expr) in &stmts {
+            let e = expr.to_iexpr(&b);
+            match kind {
+                0 => {
+                    // store expr to addr
+                    b.store_shared(b.const_i(*addr as i64), e);
+                }
+                1 => {
+                    // fetch-add expr into addr, keep result in memory too
+                    let v = b.def_i("v", b.fetch_add(*addr as i64, e));
+                    b.store_shared(b.const_i(((*addr + 1) % MEM_WORDS) as i64), v.get());
+                }
+                _ => {
+                    // conditional store on expr sign (exercises branches)
+                    let v = b.def_i("v", e);
+                    b.if_(v.get().gt(0), |b| {
+                        b.store_shared(b.const_i(*addr as i64), v.get());
+                    });
+                }
+            }
+        }
+        let prog = b.finish();
+        let grouped = group_shared_loads(&prog).program;
+
+        let a = run_single(&prog, &init, SwitchModel::SwitchOnLoad);
+        let g = run_single(&grouped, &init, SwitchModel::ExplicitSwitch);
+        for addr in 0..MEM_WORDS + 8 {
+            prop_assert_eq!(a.read_i64(addr), g.read_i64(addr), "word {}", addr);
+        }
+    }
+
+    /// Multithreaded fetch-and-add accumulation is exact for any thread
+    /// geometry.
+    #[test]
+    fn fetch_add_sums_for_any_geometry(
+        procs in 1usize..6,
+        threads in 1usize..5,
+        reps in 1i64..8,
+    ) {
+        let mut b = ProgramBuilder::new("prop-faa");
+        b.for_range("i", 0, reps, |b, _| {
+            b.fetch_add_discard(b.const_i(0), b.tid() + 1, mtsim::isa::AccessHint::Data);
+        });
+        let prog = b.finish();
+        let mut cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, procs, threads);
+        cfg.max_cycles = 50_000_000;
+        let fin = Machine::new(cfg, &prog, SharedMemory::new(1)).run().expect("run");
+        let n = (procs * threads) as i64;
+        prop_assert_eq!(fin.shared.read_i64(0), reps * n * (n + 1) / 2);
+    }
+}
