@@ -91,8 +91,10 @@ pub fn build_blkmat(params: BlkmatParams, nthreads: usize) -> BuiltApp {
             // Copy A(bi, kb) and B(kb, bj) into private memory: a burst of
             // shared loads feeding local stores.
             b.for_range("r", 0, bsi, |b, r| {
-                let arow = b.def_i("arow", (bi.get() * bsi + r.get()) * ni + kb.get() * bsi + a_base);
-                let brow = b.def_i("brow", (kb.get() * bsi + r.get()) * ni + bj.get() * bsi + b_base);
+                let arow =
+                    b.def_i("arow", (bi.get() * bsi + r.get()) * ni + kb.get() * bsi + a_base);
+                let brow =
+                    b.def_i("brow", (kb.get() * bsi + r.get()) * ni + bj.get() * bsi + b_base);
                 let lrow = b.def_i("lrow", r.get() * bsi);
                 b.for_range("cc", 0, bsi, |b, cc| {
                     let av = b.load_shared_f(arow.get() + cc.get());
@@ -175,10 +177,9 @@ mod tests {
 
     #[test]
     fn blkmat_parallel_models() {
-        for (model, p, t) in [
-            (SwitchModel::SwitchOnLoad, 4, 2),
-            (SwitchModel::ExplicitSwitch, 2, 2),
-        ] {
+        for (model, p, t) in
+            [(SwitchModel::SwitchOnLoad, 4, 2), (SwitchModel::ExplicitSwitch, 2, 2)]
+        {
             let app = build_blkmat(BlkmatParams { n: 16, bs: 4 }, p * t);
             run_app(&app, MachineConfig::new(model, p, t)).unwrap();
         }
@@ -190,10 +191,6 @@ mod tests {
         // above sor-like codes.
         let app = build_blkmat(BlkmatParams { n: 16, bs: 8 }, 2);
         let r = run_app(&app, MachineConfig::new(SwitchModel::SwitchOnLoad, 1, 2)).unwrap();
-        assert!(
-            r.run_lengths.mean() > 15.0,
-            "mean run-length {}",
-            r.run_lengths.mean()
-        );
+        assert!(r.run_lengths.mean() > 15.0, "mean run-length {}", r.run_lengths.mean());
     }
 }

@@ -2,9 +2,61 @@
 //! and the paper's efficiency metric.
 
 use mtsim_asm::Program;
-use mtsim_core::{Machine, MachineConfig, RunResult, SwitchModel};
+use mtsim_core::{Machine, MachineConfig, RunResult, SimError, SwitchModel};
 use mtsim_mem::SharedMemory;
 use mtsim_opt::{group_shared_loads, GroupStats};
+
+/// Why an application run failed: the simulator stopped with a typed
+/// [`SimError`], or it finished but the final memory image disagreed with
+/// the host-side reference computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The simulation itself failed (fault exhaustion, deadlock, watchdog,
+    /// bad program, bad config).
+    Sim {
+        /// Application name.
+        app: String,
+        /// The underlying simulator error.
+        err: SimError,
+    },
+    /// The run completed but produced wrong answers.
+    Verify {
+        /// Application name.
+        app: String,
+        /// First mismatch found by the verifier.
+        detail: String,
+    },
+}
+
+impl RunError {
+    /// The simulator error, when this failure wraps one.
+    pub fn sim_error(&self) -> Option<&SimError> {
+        match self {
+            RunError::Sim { err, .. } => Some(err),
+            RunError::Verify { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sim { app, err } => write!(f, "{app}: {err}"),
+            RunError::Verify { app, detail } => {
+                write!(f, "{app}: verification failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Sim { err, .. } => Some(err),
+            RunError::Verify { .. } => None,
+        }
+    }
+}
 
 /// Host-side verifier of a final shared-memory image.
 pub type VerifyFn = Box<dyn Fn(&SharedMemory) -> Result<(), String> + Send + Sync>;
@@ -69,31 +121,29 @@ impl BuiltApp {
 ///
 /// # Errors
 ///
-/// Returns an error string for watchdog expiry or result-verification
-/// failure.
-///
-/// # Panics
-///
-/// Panics if `cfg.total_threads() != app.nthreads` (the program image is
-/// specialized to its thread count by barrier arities and partitioning).
-pub fn run_app(app: &BuiltApp, cfg: MachineConfig) -> Result<RunResult, String> {
-    assert_eq!(
-        cfg.total_threads(),
-        app.nthreads,
-        "app {} was built for {} threads, config asks for {}",
-        app.name,
-        app.nthreads,
-        cfg.total_threads()
-    );
-    let program = if cfg.model.uses_explicit_switch() {
-        app.grouped().0
-    } else {
-        app.program.clone()
-    };
-    let fin = Machine::new(cfg, &program, app.shared.clone())
-        .run()
-        .map_err(|e| format!("{}: {e}", app.name))?;
-    app.verify(&fin.shared).map_err(|e| format!("{}: verification failed: {e}", app.name))?;
+/// Returns [`RunError::Sim`] for any typed simulator error (fault
+/// exhaustion, deadlock, watchdog, bad program, bad config — including a
+/// thread-count mismatch between the app image and `cfg`) and
+/// [`RunError::Verify`] when the final memory image fails the host check.
+pub fn run_app(app: &BuiltApp, cfg: MachineConfig) -> Result<RunResult, RunError> {
+    if cfg.total_threads() != app.nthreads {
+        return Err(RunError::Sim {
+            app: app.name.clone(),
+            err: SimError::Config {
+                detail: format!(
+                    "app was built for {} threads, config asks for {}",
+                    app.nthreads,
+                    cfg.total_threads()
+                ),
+            },
+        });
+    }
+    let program =
+        if cfg.model.uses_explicit_switch() { app.grouped().0 } else { app.program.clone() };
+    let fin = Machine::try_new(cfg, &program, app.shared.clone())
+        .and_then(Machine::run)
+        .map_err(|err| RunError::Sim { app: app.name.clone(), err })?;
+    app.verify(&fin.shared).map_err(|detail| RunError::Verify { app: app.name.clone(), detail })?;
     Ok(fin.result)
 }
 
@@ -102,16 +152,17 @@ pub fn run_app(app: &BuiltApp, cfg: MachineConfig) -> Result<RunResult, String> 
 ///
 /// # Errors
 ///
-/// Returns an error string for watchdog expiry or verification failure.
+/// Returns [`RunError::Sim`] for typed simulator errors and
+/// [`RunError::Verify`] for host-check mismatches.
 pub fn run_app_with_program(
     app: &BuiltApp,
     program: &Program,
     cfg: MachineConfig,
-) -> Result<RunResult, String> {
-    let fin = Machine::new(cfg, program, app.shared.clone())
-        .run()
-        .map_err(|e| format!("{}: {e}", app.name))?;
-    app.verify(&fin.shared).map_err(|e| format!("{}: verification failed: {e}", app.name))?;
+) -> Result<RunResult, RunError> {
+    let fin = Machine::try_new(cfg, program, app.shared.clone())
+        .and_then(Machine::run)
+        .map_err(|err| RunError::Sim { app: app.name.clone(), err })?;
+    app.verify(&fin.shared).map_err(|detail| RunError::Verify { app: app.name.clone(), detail })?;
     Ok(fin.result)
 }
 

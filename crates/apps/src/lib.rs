@@ -32,6 +32,7 @@ pub mod water;
 
 pub use harness::{
     baseline_cycles, efficiency, run_app, run_app_with_program, threads_for_efficiency, BuiltApp,
+    RunError,
 };
 
 /// The seven applications of the paper's Table 1.
@@ -163,7 +164,10 @@ pub fn build_app(kind: AppKind, scale: Scale, nthreads: usize) -> BuiltApp {
                 Scale::Small => (24, 16, 24),
                 Scale::Full => (64, 24, 80),
             };
-            locus::build_locus(locus::LocusParams { width: w, height: h, n_wires: wires, seed: 3 }, nthreads)
+            locus::build_locus(
+                locus::LocusParams { width: w, height: h, n_wires: wires, seed: 3 },
+                nthreads,
+            )
         }
         AppKind::Mp3d => {
             let (parts, iters) = match scale {
@@ -171,7 +175,10 @@ pub fn build_app(kind: AppKind, scale: Scale, nthreads: usize) -> BuiltApp {
                 Scale::Small => (400, 3),
                 Scale::Full => (4_000, 5),
             };
-            mp3d::build_mp3d(mp3d::Mp3dParams { n_particles: parts, iters, grid: 8, seed: 11 }, nthreads)
+            mp3d::build_mp3d(
+                mp3d::Mp3dParams { n_particles: parts, iters, grid: 8, seed: 11 },
+                nthreads,
+            )
         }
     }
 }

@@ -20,9 +20,8 @@ use crate::harness::BuiltApp;
 use mtsim_asm::{ProgramBuilder, SharedLayout};
 use mtsim_isa::AccessHint;
 use mtsim_mem::SharedMemory;
+use mtsim_rng::Rng;
 use mtsim_rt::WorkQueue;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Workload parameters.
 #[derive(Debug, Clone, Copy)]
@@ -45,13 +44,13 @@ impl Default for LocusParams {
 
 /// Generates the wire list `(sx, sy, tx, ty)`, each with nonzero length.
 fn generate_wires(p: &LocusParams) -> Vec<(i64, i64, i64, i64)> {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let mut wires = Vec::with_capacity(p.n_wires);
     while wires.len() < p.n_wires {
-        let sx = rng.random_range(0..p.width as i64);
-        let sy = rng.random_range(0..p.height as i64);
-        let tx = rng.random_range(0..p.width as i64);
-        let ty = rng.random_range(0..p.height as i64);
+        let sx = rng.range_i64(0, p.width as i64);
+        let sy = rng.range_i64(0, p.height as i64);
+        let tx = rng.range_i64(0, p.width as i64);
+        let ty = rng.range_i64(0, p.height as i64);
         if sx != tx || sy != ty {
             wires.push((sx, sy, tx, ty));
         }
@@ -111,10 +110,8 @@ pub fn build_locus(params: LocusParams, nthreads: usize) -> BuiltApp {
                         |b| {
                             // Two candidate steps: compare their cell costs
                             // (loads split across this branch structure).
-                            let ch = b.def_i(
-                                "ch",
-                                b.load_shared(rowbase.get() + (x.get() + sgnx.get())),
-                            );
+                            let ch = b
+                                .def_i("ch", b.load_shared(rowbase.get() + (x.get() + sgnx.get())));
                             let cv = b.def_i("cv", b.load_shared(nextrow.get() + x.get()));
                             b.if_else(
                                 ch.get().le(cv.get()),
@@ -171,9 +168,7 @@ pub fn build_locus(params: LocusParams, nthreads: usize) -> BuiltApp {
             grid_sum += v;
         }
         if grid_sum != total_len {
-            return Err(format!(
-                "grid cost sum {grid_sum} != total path length {total_len}"
-            ));
+            return Err(format!("grid cost sum {grid_sum} != total path length {total_len}"));
         }
         Ok(())
     })
@@ -194,8 +189,7 @@ mod tests {
 
     #[test]
     fn locus_single_thread() {
-        let app =
-            build_locus(LocusParams { width: 10, height: 8, n_wires: 6, seed: 2 }, 1);
+        let app = build_locus(LocusParams { width: 10, height: 8, n_wires: 6, seed: 2 }, 1);
         run_app(&app, MachineConfig::ideal(1)).unwrap();
     }
 

@@ -12,9 +12,8 @@ use crate::harness::BuiltApp;
 use mtsim_asm::{ProgramBuilder, SharedLayout};
 use mtsim_isa::AccessHint;
 use mtsim_mem::SharedMemory;
+use mtsim_rng::Rng;
 use mtsim_rt::Barrier;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Workload parameters.
 #[derive(Debug, Clone, Copy)]
@@ -44,15 +43,15 @@ fn box_side(grid: usize) -> f64 {
 
 /// Initial interleaved `[x,y,z,vx,vy,vz]` records.
 fn initial_state(p: &Mp3dParams) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let l = box_side(p.grid);
     let mut state = Vec::with_capacity(6 * p.n_particles);
     for _ in 0..p.n_particles {
         for _ in 0..3 {
-            state.push(rng.random_range(0.0..l));
+            state.push(rng.range_f64(0.0, l));
         }
         for _ in 0..3 {
-            state.push(rng.random_range(-1.0..1.0));
+            state.push(rng.range_f64(-1.0, 1.0));
         }
     }
     state
@@ -205,8 +204,7 @@ mod tests {
             (SwitchModel::ExplicitSwitch, 2, 2),
             (SwitchModel::ConditionalSwitch, 2, 2),
         ] {
-            let app =
-                build_mp3d(Mp3dParams { n_particles: 30, iters: 2, grid: 4, seed: 4 }, p * t);
+            let app = build_mp3d(Mp3dParams { n_particles: 30, iters: 2, grid: 4, seed: 4 }, p * t);
             run_app(&app, MachineConfig::new(model, p, t)).unwrap();
         }
     }

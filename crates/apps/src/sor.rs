@@ -61,14 +61,8 @@ pub fn host_sor(n: usize, iters: usize, omega: f64) -> Vec<f64> {
                 let mut j = if (i + 1) % 2 == color { 1 } else { 2 };
                 while j < n - 1 {
                     let idx = i * n + j;
-                    a[idx] = host_update(
-                        a[idx],
-                        a[idx - n],
-                        a[idx + n],
-                        a[idx - 1],
-                        a[idx + 1],
-                        omega,
-                    );
+                    a[idx] =
+                        host_update(a[idx], a[idx - n], a[idx + n], a[idx - 1], a[idx + 1], omega);
                     j += 2;
                 }
             }
@@ -132,11 +126,7 @@ pub fn build_sor(params: SorParams, nthreads: usize) -> BuiltApp {
         for (k, &w) in want.iter().enumerate() {
             let got = mem.read_f64((grid as usize + k) as u64);
             if got != w {
-                return Err(format!(
-                    "grid[{},{}]: got {got}, want {w}",
-                    k / n,
-                    k % n
-                ));
+                return Err(format!("grid[{},{}]: got {got}, want {w}", k / n, k % n));
             }
         }
         Ok(())

@@ -14,10 +14,8 @@
 use crate::harness::BuiltApp;
 use mtsim_asm::{ProgramBuilder, SharedLayout};
 use mtsim_mem::SharedMemory;
+use mtsim_rng::Rng;
 use mtsim_rt::{TicketLock, WorkQueue};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Workload parameters.
 #[derive(Debug, Clone, Copy)]
@@ -54,21 +52,21 @@ struct Sphere {
 /// Scene generation plus the shuffled record placement: returns the sphere
 /// list in traversal order and the storage slot of each.
 fn scene(p: &UgrayParams) -> (Vec<Sphere>, Vec<usize>) {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let spheres: Vec<Sphere> = (0..p.n_spheres)
         .map(|_| {
-            let r = rng.random_range(0.05..0.35);
+            let r = rng.range_f64(0.05, 0.35);
             Sphere {
-                cx: rng.random_range(-1.5..1.5),
-                cy: rng.random_range(-1.5..1.5),
-                cz: rng.random_range(2.0..6.0),
+                cx: rng.range_f64(-1.5, 1.5),
+                cy: rng.range_f64(-1.5, 1.5),
+                cz: rng.range_f64(2.0, 6.0),
                 r2: r * r,
-                albedo: rng.random_range(0.2..1.0),
+                albedo: rng.range_f64(0.2, 1.0),
             }
         })
         .collect();
     let mut slots: Vec<usize> = (0..p.n_spheres).collect();
-    slots.shuffle(&mut rng);
+    rng.shuffle(&mut slots);
     (spheres, slots)
 }
 
@@ -149,10 +147,7 @@ pub fn build_ugray(params: UgrayParams, nthreads: usize) -> BuiltApp {
             let cz = b.def_f("cz", b.load_shared_f(base.get() + 3));
             let r2 = b.def_f("r2", b.load_shared_f(base.get() + 4));
             let doc = b.def_f("doc", ud.get() * cx.get() + vd.get() * cy.get() + cz.get());
-            let cc = b.def_f(
-                "cc",
-                cx.get() * cx.get() + cy.get() * cy.get() + cz.get() * cz.get(),
-            );
+            let cc = b.def_f("cc", cx.get() * cx.get() + cy.get() * cy.get() + cz.get() * cz.get());
             let disc = b.def_f("disc", doc.get() * doc.get() - dd.get() * (cc.get() - r2.get()));
             b.if_(b.const_f(0.0).flt(disc.get()), |b| {
                 let t = b.def_f("t", (doc.get() - disc.get().sqrt()) / dd.get());
@@ -170,10 +165,7 @@ pub fn build_ugray(params: UgrayParams, nthreads: usize) -> BuiltApp {
         });
 
         b.if_(t_best.get().flt(BIG), |b| {
-            let shade = b.def_f(
-                "shade",
-                alb_best.get() / (t_best.get() * t_best.get() + 1.0),
-            );
+            let shade = b.def_f("shade", alb_best.get() / (t_best.get() * t_best.get() + 1.0));
             b.store_shared_f(py.get() * wi + px.get() + image, shade.get());
             // Double-checked global nearest-hit update under the lock.
             let cur = b.def_f("cur", b.load_shared_f(b.const_i(gmin_addr)));
@@ -209,11 +201,7 @@ pub fn build_ugray(params: UgrayParams, nthreads: usize) -> BuiltApp {
         for (k, &w) in want_img.iter().enumerate() {
             let got = mem.read_f64((image as usize + k) as u64);
             if got != w {
-                return Err(format!(
-                    "pixel ({},{}): got {got}, want {w}",
-                    k % width,
-                    k / width
-                ));
+                return Err(format!("pixel ({},{}): got {got}, want {w}", k % width, k / width));
             }
         }
         let got_gmin = mem.read_f64(gmin_addr as u64);
@@ -266,9 +254,6 @@ mod tests {
         let app = build_ugray(tiny(), 2);
         let r = run_app(&app, MachineConfig::new(SwitchModel::SwitchOnLoad, 1, 2)).unwrap();
         let rate = r.one_line_hit_rate();
-        assert!(
-            (0.2..0.95).contains(&rate),
-            "one-line hit rate {rate} outside plausible band"
-        );
+        assert!((0.2..0.95).contains(&rate), "one-line hit rate {rate} outside plausible band");
     }
 }

@@ -12,9 +12,8 @@
 use crate::harness::BuiltApp;
 use mtsim_asm::{ProgramBuilder, SharedLayout};
 use mtsim_mem::SharedMemory;
+use mtsim_rng::Rng;
 use mtsim_rt::Barrier;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Workload parameters.
 #[derive(Debug, Clone, Copy)]
@@ -41,9 +40,9 @@ const DT: f64 = 0.01;
 /// Generates the initial positions/velocities (shared by device image and
 /// host reference).
 fn initial_state(p: &WaterParams) -> (Vec<f64>, Vec<f64>) {
-    let mut rng = StdRng::seed_from_u64(p.seed);
-    let pos: Vec<f64> = (0..3 * p.n_mol).map(|_| rng.random_range(0.0..BOX)).collect();
-    let vel: Vec<f64> = (0..3 * p.n_mol).map(|_| rng.random_range(-0.5..0.5)).collect();
+    let mut rng = Rng::seed_from_u64(p.seed);
+    let pos: Vec<f64> = (0..3 * p.n_mol).map(|_| rng.range_f64(0.0, BOX)).collect();
+    let vel: Vec<f64> = (0..3 * p.n_mol).map(|_| rng.range_f64(-0.5, 0.5)).collect();
     (pos, vel)
 }
 

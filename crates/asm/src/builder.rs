@@ -271,7 +271,13 @@ impl ProgramBuilder {
         let rs = self.eval_i(&v, None);
         let a = addr.into();
         let (base, offset) = self.eval_addr(&a);
-        self.insts.push(Inst::Store { space: Space::Local, rs, base, offset, hint: AccessHint::Data });
+        self.insts.push(Inst::Store {
+            space: Space::Local,
+            rs,
+            base,
+            offset,
+            hint: AccessHint::Data,
+        });
         self.reset_temps();
     }
 
@@ -565,10 +571,9 @@ impl ProgramBuilder {
     }
 
     fn temp_i(&mut self) -> Reg {
-        let r = self
-            .int_pool
-            .pop_front()
-            .unwrap_or_else(|| panic!("{}: out of integer registers (expression too deep)", self.name));
+        let r = self.int_pool.pop_front().unwrap_or_else(|| {
+            panic!("{}: out of integer registers (expression too deep)", self.name)
+        });
         self.temps_i.push(r);
         r
     }
@@ -676,13 +681,7 @@ impl ProgramBuilder {
             IExpr::LoadShared(addr, hint) => {
                 let (base, offset) = self.eval_addr(addr);
                 let rd = self.dest_or_temp_i(dest);
-                self.insts.push(Inst::Load {
-                    space: Space::Shared,
-                    rd,
-                    base,
-                    offset,
-                    hint: *hint,
-                });
+                self.insts.push(Inst::Load { space: Space::Shared, rd, base, offset, hint: *hint });
                 self.free_if_temp_i(base);
                 rd
             }
@@ -924,10 +923,7 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.fetch_add_discard(b.const_i(7), b.const_i(1), AccessHint::Data);
         let p = b.finish();
-        assert!(p
-            .insts()
-            .iter()
-            .any(|i| matches!(i, Inst::FetchAdd { rd, .. } if rd.is_zero())));
+        assert!(p.insts().iter().any(|i| matches!(i, Inst::FetchAdd { rd, .. } if rd.is_zero())));
     }
 
     #[test]
@@ -944,11 +940,7 @@ mod tests {
     fn if_else_both_arms() {
         let mut b = ProgramBuilder::new("t");
         let x = b.def_i("x", 0);
-        b.if_else(
-            b.tid().eq(0),
-            |b| b.assign(x, 1),
-            |b| b.assign(x, 2),
-        );
+        b.if_else(b.tid().eq(0), |b| b.assign(x, 1), |b| b.assign(x, 2));
         b.store_local(b.const_i(0), x.get());
         let p = b.finish();
         assert!(p.len() >= 7);

@@ -92,11 +92,8 @@ fn parse_inst(s: &str) -> Result<Inst, String> {
         Some(i) => (&s[..i], s[i + 1..].trim()),
         None => (s, ""),
     };
-    let ops: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let ops: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
 
     // Zero-operand forms first.
     match mnemonic {
@@ -317,9 +314,9 @@ fn freg_pair(s: &str) -> Result<(FReg, FReg), String> {
 /// Parses `offset(base)`.
 fn mem_operand(s: &str) -> Result<(i64, Reg), String> {
     let open = s.find('(').ok_or_else(|| format!("bad memory operand '{s}'"))?;
-    let close = s.rfind(')').filter(|&c| c > open).ok_or_else(|| format!("bad memory operand '{s}'"))?;
-    let offset: i64 =
-        s[..open].trim().parse().map_err(|_| format!("bad offset in '{s}'"))?;
+    let close =
+        s.rfind(')').filter(|&c| c > open).ok_or_else(|| format!("bad memory operand '{s}'"))?;
+    let offset: i64 = s[..open].trim().parse().map_err(|_| format!("bad offset in '{s}'"))?;
     let base = reg(s[open + 1..close].trim())?;
     Ok((offset, base))
 }
@@ -392,7 +389,13 @@ mod tests {
             Inst::MovIF { fd: f, rs: r },
             Inst::MovFI { rd: r, fs: f },
             Inst::FSqrt { fd: f, fs: f2 },
-            Inst::Load { space: Space::Shared, rd: r, base: r2, offset: -3, hint: AccessHint::Data },
+            Inst::Load {
+                space: Space::Shared,
+                rd: r,
+                base: r2,
+                offset: -3,
+                hint: AccessHint::Data,
+            },
             Inst::Load { space: Space::Shared, rd: r, base: r2, offset: 0, hint: AccessHint::Spin },
             Inst::Store { space: Space::Local, rs: r, base: r2, offset: 7, hint: AccessHint::Data },
             Inst::FLoad { space: Space::Shared, fd: f, base: r, offset: 1 },

@@ -38,10 +38,7 @@ impl Program {
                 }
             }
         }
-        assert!(
-            insts.iter().any(|i| matches!(i, Inst::Halt)),
-            "program {name} contains no Halt"
-        );
+        assert!(insts.iter().any(|i| matches!(i, Inst::Halt)), "program {name} contains no Halt");
         Program { name, insts, local_words: 0 }
     }
 
@@ -159,10 +156,8 @@ mod tests {
 
     #[test]
     fn from_raw_parts_validates_targets() {
-        let p = Program::from_raw_parts(
-            "t",
-            vec![Inst::Jump { target: Target::Pc(1) }, Inst::Halt],
-        );
+        let p =
+            Program::from_raw_parts("t", vec![Inst::Jump { target: Target::Pc(1) }, Inst::Halt]);
         assert_eq!(p.len(), 2);
         assert_eq!(p.name(), "t");
     }
@@ -170,7 +165,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_target() {
-        let _ = Program::from_raw_parts("t", vec![Inst::Jump { target: Target::Pc(9) }, Inst::Halt]);
+        let _ =
+            Program::from_raw_parts("t", vec![Inst::Jump { target: Target::Pc(9) }, Inst::Halt]);
     }
 
     #[test]

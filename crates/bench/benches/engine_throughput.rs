@@ -1,15 +1,16 @@
 //! Simulator-performance bench: wall-clock time to simulate each
 //! application under each of the paper's three main models (plus ideal),
-//! at tiny scale.
+//! at tiny scale. Plain `std::time` harness — no external bench framework.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mtsim_apps::{build_app, run_app, AppKind, Scale};
 use mtsim_core::{MachineConfig, SwitchModel};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(10);
+const SAMPLES: u32 = 10;
+
+fn main() {
+    println!("engine throughput (best of {SAMPLES} runs)");
     for model in [
         SwitchModel::Ideal,
         SwitchModel::SwitchOnLoad,
@@ -17,21 +18,19 @@ fn bench_models(c: &mut Criterion) {
         SwitchModel::ConditionalSwitch,
     ] {
         for kind in [AppKind::Sieve, AppKind::Sor, AppKind::Mp3d] {
-            g.bench_function(format!("{model}/{kind}"), |b| {
-                let (p, t) = (2, 2);
-                let app = build_app(kind, Scale::Tiny, p * t);
-                b.iter(|| {
-                    let mut cfg = MachineConfig::new(model, p, t);
-                    if model == SwitchModel::Ideal {
-                        cfg.latency = 0;
-                    }
-                    black_box(run_app(&app, cfg).expect("bench run"));
-                });
-            });
+            let (p, t) = (2, 2);
+            let app = build_app(kind, Scale::Tiny, p * t);
+            let mut best = f64::INFINITY;
+            for _ in 0..SAMPLES {
+                let start = Instant::now();
+                let mut cfg = MachineConfig::new(model, p, t);
+                if model == SwitchModel::Ideal {
+                    cfg.latency = 0;
+                }
+                black_box(run_app(&app, cfg).expect("bench run"));
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            println!("  {model}/{kind}: {:.3} ms", best * 1e3);
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

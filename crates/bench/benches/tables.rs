@@ -1,53 +1,64 @@
-//! One Criterion bench per paper table/figure: each regenerates its
-//! experiment at tiny scale, so `cargo bench` exercises every
-//! reproduction code path end to end.
+//! One timed run per paper table/figure: each regenerates its experiment
+//! at tiny scale, so `cargo bench` exercises every reproduction code path
+//! end to end. Plain `std::time` harness — no external bench framework.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mtsim_apps::Scale;
 use mtsim_bench::experiments;
 use mtsim_core::SwitchModel;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.bench_function("table1", |b| b.iter(|| black_box(experiments::table1(Scale::Tiny))));
-    g.bench_function("fig2", |b| {
-        b.iter(|| black_box(experiments::fig2(Scale::Tiny, &[1, 2, 4])))
-    });
-    g.bench_function("table2", |b| {
-        b.iter(|| black_box(experiments::run_length_table(Scale::Tiny, SwitchModel::SwitchOnLoad)))
-    });
-    g.bench_function("fig3", |b| {
-        b.iter(|| black_box(experiments::fig3(Scale::Tiny, &[1, 2], &[1, 2])))
-    });
-    g.bench_function("fig4", |b| b.iter(|| black_box(experiments::fig4())));
-    g.bench_function("table3", |b| {
-        b.iter(|| black_box(experiments::mt_table(Scale::Tiny, SwitchModel::SwitchOnLoad)))
-    });
-    g.bench_function("table4", |b| {
-        b.iter(|| {
-            black_box(experiments::run_length_table(Scale::Tiny, SwitchModel::ExplicitSwitch))
-        })
-    });
-    g.bench_function("table5", |b| {
-        b.iter(|| {
-            black_box((
-                experiments::mt_table(Scale::Tiny, SwitchModel::ExplicitSwitch),
-                experiments::reorganization_penalty(Scale::Tiny),
-            ))
-        })
-    });
-    g.bench_function("table6", |b| b.iter(|| black_box(experiments::table6(Scale::Tiny))));
-    g.bench_function("table7", |b| b.iter(|| black_box(experiments::table7(Scale::Tiny))));
-    g.bench_function("table8", |b| {
-        b.iter(|| black_box(experiments::mt_table(Scale::Tiny, SwitchModel::ConditionalSwitch)))
-    });
-    g.bench_function("ablation", |b| {
-        b.iter(|| black_box(experiments::max_run_ablation(Scale::Tiny, &[Some(200), Some(400)])))
-    });
-    g.finish();
+const SAMPLES: u32 = 10;
+
+fn bench(name: &str, mut f: impl FnMut()) {
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    println!("  {name}: {:.3} ms", best * 1e3);
 }
 
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);
+fn main() {
+    println!("table/figure regeneration (best of {SAMPLES} runs)");
+    bench("table1", || {
+        black_box(experiments::table1(Scale::Tiny));
+    });
+    bench("fig2", || {
+        black_box(experiments::fig2(Scale::Tiny, &[1, 2, 4]));
+    });
+    bench("table2", || {
+        black_box(experiments::run_length_table(Scale::Tiny, SwitchModel::SwitchOnLoad));
+    });
+    bench("fig3", || {
+        black_box(experiments::fig3(Scale::Tiny, &[1, 2], &[1, 2]));
+    });
+    bench("fig4", || {
+        black_box(experiments::fig4());
+    });
+    bench("table3", || {
+        black_box(experiments::mt_table(Scale::Tiny, SwitchModel::SwitchOnLoad));
+    });
+    bench("table4", || {
+        black_box(experiments::run_length_table(Scale::Tiny, SwitchModel::ExplicitSwitch));
+    });
+    bench("table5", || {
+        black_box((
+            experiments::mt_table(Scale::Tiny, SwitchModel::ExplicitSwitch),
+            experiments::reorganization_penalty(Scale::Tiny),
+        ));
+    });
+    bench("table6", || {
+        black_box(experiments::table6(Scale::Tiny));
+    });
+    bench("table7", || {
+        black_box(experiments::table7(Scale::Tiny));
+    });
+    bench("table8", || {
+        black_box(experiments::mt_table(Scale::Tiny, SwitchModel::ConditionalSwitch));
+    });
+    bench("ablation", || {
+        black_box(experiments::max_run_ablation(Scale::Tiny, &[Some(200), Some(400)]));
+    });
+}

@@ -30,5 +30,7 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
-    println!("\n(the paper's channel-width caveat, quantified: peak demand is several times the mean)");
+    println!(
+        "\n(the paper's channel-width caveat, quantified: peak demand is several times the mean)"
+    );
 }

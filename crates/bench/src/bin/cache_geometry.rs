@@ -23,11 +23,9 @@ fn main() {
         CacheParams { lines: 2048, line_words: 4 }, // 64 KB
     ];
     println!("Cache-geometry sweep, trace replay (scale {scale:?})\n");
-    let mut t = TextTable::new(
-        std::iter::once("app".to_string()).chain(grid.iter().map(|g| {
-            format!("{}KB/{}w", g.capacity_words() * 8 / 1024, g.line_words)
-        })),
-    );
+    let mut t = TextTable::new(std::iter::once("app".to_string()).chain(
+        grid.iter().map(|g| format!("{}KB/{}w", g.capacity_words() * 8 / 1024, g.line_words)),
+    ));
     for kind in AppKind::ALL {
         let app = build_app(kind, scale, procs * 2);
         let cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, procs, 2).with_trace(true);

@@ -20,10 +20,11 @@ fn main() {
     );
     for (app, pts) in experiments::fig2(scale, procs) {
         t.row(
-            std::iter::once(app.name().to_string())
-                .chain(pts.iter().map(|pt| pct(pt.efficiency))),
+            std::iter::once(app.name().to_string()).chain(pts.iter().map(|pt| pct(pt.efficiency))),
         );
     }
     print!("{}", t.render());
-    println!("\n(paper: fixed-size efficiency decays with P; water is erratic under its static balance)");
+    println!(
+        "\n(paper: fixed-size efficiency decays with P; water is erratic under its static balance)"
+    );
 }

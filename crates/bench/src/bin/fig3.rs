@@ -20,9 +20,7 @@ fn main() {
         std::iter::once("curve".to_string()).chain(procs.iter().map(|p| format!("P={p}"))),
     );
     for (label, pts) in experiments::fig3(scale, levels, procs) {
-        t.row(
-            std::iter::once(label).chain(pts.iter().map(|pt| pct(pt.efficiency))),
-        );
+        t.row(std::iter::once(label).chain(pts.iter().map(|pt| pct(pt.efficiency))));
     }
     print!("{}", t.render());
     println!("\n(paper: T=1 runs at 9%; near-100% efficiency from T=12)");

@@ -13,13 +13,11 @@ fn main() {
     let (procs, t) = (2, 8);
     println!("Latency tolerance: ugray, {procs} procs x {t} threads (scale {scale:?})\n");
     let mut table = TextTable::new(
-        std::iter::once("latency".to_string())
-            .chain(LATENCY_MODELS.iter().map(|m| m.to_string())),
+        std::iter::once("latency".to_string()).chain(LATENCY_MODELS.iter().map(|m| m.to_string())),
     );
     for row in latency_sweep(AppKind::Ugray, scale, procs, t, &[50, 100, 200, 400, 800]) {
         table.row(
-            std::iter::once(row.latency.to_string())
-                .chain(row.efficiency.iter().map(|&e| pct(e))),
+            std::iter::once(row.latency.to_string()).chain(row.efficiency.iter().map(|&e| pct(e))),
         );
     }
     print!("{}", table.render());

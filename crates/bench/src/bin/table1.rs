@@ -9,7 +9,8 @@ use mtsim_bench::{experiments, scale_from_args};
 fn main() {
     let scale = scale_from_args();
     println!("Table 1: Parallel Applications (scale {scale:?})\n");
-    let mut t = TextTable::new(["app", "static insts", "serial cycles", "shared reads", "description"]);
+    let mut t =
+        TextTable::new(["app", "static insts", "serial cycles", "shared reads", "description"]);
     for row in experiments::table1(scale) {
         t.row([
             row.app.name().to_string(),

@@ -24,5 +24,7 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
-    println!("\n(paper: sor 39% ones + 39% twos; blkmat exceptionally long mean; locus/mp3d short)");
+    println!(
+        "\n(paper: sor 39% ones + 39% twos; blkmat exceptionally long mean; locus/mp3d short)"
+    );
 }

@@ -10,8 +10,7 @@ use mtsim_core::SwitchModel;
 fn main() {
     let scale = scale_from_args();
     println!("Table 4: run-lengths after grouping, explicit-switch (scale {scale:?})\n");
-    let mut t =
-        TextTable::new(["app", "mean", "%1", "%2", "%3-4", "%5-8", "%9-16", "grouping"]);
+    let mut t = TextTable::new(["app", "mean", "%1", "%2", "%3-4", "%5-8", "%9-16", "grouping"]);
     for row in experiments::run_length_table(scale, SwitchModel::ExplicitSwitch) {
         t.row([
             row.app.name().to_string(),

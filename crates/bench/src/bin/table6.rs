@@ -11,7 +11,15 @@ fn main() {
     let scale = scale_from_args();
     println!("Table 6: inter-block grouping estimate, explicit-switch (scale {scale:?})\n");
     let mut t = TextTable::new([
-        "app", "1-line hits", "grouping", "revised", "50%", "60%", "70%", "80%", "90%",
+        "app",
+        "1-line hits",
+        "grouping",
+        "revised",
+        "50%",
+        "60%",
+        "70%",
+        "80%",
+        "90%",
     ]);
     for row in experiments::table6(scale) {
         t.row(

@@ -8,10 +8,11 @@ use mtsim_bench::{experiments, scale_from_args};
 
 fn main() {
     let scale = scale_from_args();
-    println!("Section 6.1: bandwidth demand (bits/cycle/processor) and hit rates (scale {scale:?})\n");
-    let mut t = TextTable::new([
-        "app", "uncached b/c", "hit rate", "cached b/c", "inval msgs/kcycle",
-    ]);
+    println!(
+        "Section 6.1: bandwidth demand (bits/cycle/processor) and hit rates (scale {scale:?})\n"
+    );
+    let mut t =
+        TextTable::new(["app", "uncached b/c", "hit rate", "cached b/c", "inval msgs/kcycle"]);
     for row in experiments::table7(scale) {
         t.row([
             row.app.name().to_string(),

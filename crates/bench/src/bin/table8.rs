@@ -8,7 +8,9 @@ use mtsim_core::SwitchModel;
 
 fn main() {
     let scale = scale_from_args();
-    println!("Table 8: conditional-switch — multithreading needed per efficiency (scale {scale:?})\n");
+    println!(
+        "Table 8: conditional-switch — multithreading needed per efficiency (scale {scale:?})\n"
+    );
     let mut t = TextTable::new(["app (procs)", "50%", "60%", "70%", "80%", "90%"]);
     for row in experiments::mt_table(scale, SwitchModel::ConditionalSwitch) {
         t.row(

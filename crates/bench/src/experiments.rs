@@ -156,11 +156,8 @@ pub fn run_length_table(scale: Scale, model: SwitchModel) -> Vec<RunLenRow> {
             let t = 2;
             let app = build_app(kind, scale, procs * t);
             let r = run_app(&app, cfg(model, procs, t)).expect("run-length run");
-            let grouping = if model.uses_explicit_switch() {
-                r.dynamic_grouping_factor()
-            } else {
-                1.0
-            };
+            let grouping =
+                if model.uses_explicit_switch() { r.dynamic_grouping_factor() } else { 1.0 };
             RunLenRow { app: kind, hist: r.run_lengths, grouping }
         })
         .collect()
@@ -196,8 +193,7 @@ pub fn fig3(scale: Scale, levels: &[usize], procs: &[usize]) -> Vec<(String, Vec
             .iter()
             .map(|&p| {
                 let app = build(p * t);
-                let r =
-                    run_app(&app, cfg(SwitchModel::SwitchOnLoad, p, t)).expect("fig3 run");
+                let r = run_app(&app, cfg(SwitchModel::SwitchOnLoad, p, t)).expect("fig3 run");
                 EffPoint { procs: p, efficiency: efficiency(baseline, p, r.cycles) }
             })
             .collect();
@@ -397,12 +393,12 @@ pub fn table7(scale: Scale) -> Vec<Table7Row> {
             let app = build_app(kind, scale, procs * t);
             let un =
                 run_app(&app, cfg(SwitchModel::ExplicitSwitch, procs, t)).expect("t7 uncached");
-            let ca = run_app(&app, cfg(SwitchModel::ConditionalSwitch, procs, t))
-                .expect("t7 cached");
+            let ca =
+                run_app(&app, cfg(SwitchModel::ConditionalSwitch, procs, t)).expect("t7 cached");
             let cache = ca.cache.expect("cache stats");
-            let inval =
-                ca.traffic.messages_of(mtsim_mem::MsgClass::Invalidate) as f64 / ca.cycles as f64
-                    * 1000.0;
+            let inval = ca.traffic.messages_of(mtsim_mem::MsgClass::Invalidate) as f64
+                / ca.cycles as f64
+                * 1000.0;
             Table7Row {
                 app: kind,
                 uncached_bits_per_cycle: un.bits_per_cycle(),
@@ -448,9 +444,8 @@ pub fn max_run_ablation(scale: Scale, settings: &[Option<u64>]) -> Vec<AblationR
         .map(|&mr| {
             let mut c = cfg(SwitchModel::ConditionalSwitch, procs, t).with_max_run(mr);
             c.max_cycles = nominal.saturating_mul(50).max(1_000_000);
-            let outcome = run_app(&app, c)
-                .ok()
-                .map(|r| (r.cycles, r.forced_switches, r.run_lengths.mean()));
+            let outcome =
+                run_app(&app, c).ok().map(|r| (r.cycles, r.forced_switches, r.run_lengths.mean()));
             AblationRow { max_run: mr, outcome }
         })
         .collect()
@@ -462,7 +457,12 @@ pub fn max_run_ablation(scale: Scale, settings: &[Option<u64>]) -> Vec<AblationR
 
 /// Runs one app under every model at fixed `P × T`, returning
 /// `(model, result)` pairs.
-pub fn model_tour(kind: AppKind, scale: Scale, procs: usize, t: usize) -> Vec<(SwitchModel, RunResult)> {
+pub fn model_tour(
+    kind: AppKind,
+    scale: Scale,
+    procs: usize,
+    t: usize,
+) -> Vec<(SwitchModel, RunResult)> {
     SwitchModel::ALL
         .iter()
         .map(|&m| {

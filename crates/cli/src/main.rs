@@ -3,44 +3,68 @@
 //! ```text
 //! mtsim run <app> [--model M] [-p N] [-t N] [--scale S] [--latency N]
 //!            [--max-run N|off] [--priority] [--estimate] [--stats]
+//!            [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]
+//!            [--latency-dist D] [--max-retries N]
 //! mtsim list
 //! mtsim disasm <app> [--grouped] [--scale S]
 //! mtsim models
 //! mtsim compile <file.mtc> [-t N] [--grouped]
 //! mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats]
+//!                [--seed N] [--fault-drop R] [--fault-delay R]
+//!                [--fault-dup R] [--latency-dist D] [--max-retries N]
 //! ```
+//!
+//! Latency distributions: `constant` (the paper's model), `uniform:LO:HI`,
+//! `geometric:MIN:MEAN` (MEAN is the average extra tail beyond MIN).
+//!
+//! Exit codes: `0` success, `1` the simulation failed (fault exhaustion,
+//! deadlock, watchdog, bad program, wrong results), `2` usage or
+//! configuration error.
 //!
 //! Examples:
 //!
 //! ```text
 //! mtsim run sor --model explicit-switch -p 4 -t 8 --stats
+//! mtsim run sieve --fault-drop 0.05 --seed 7 --stats
 //! mtsim disasm sor --grouped | head -40
 //! ```
 
 use mtsim_apps::{build_app, run_app, AppKind, Scale};
 use mtsim_core::{MachineConfig, SwitchModel};
+use mtsim_mem::{FaultConfig, LatencyDist};
+
+/// The simulation ran and failed (typed `SimError` or wrong results).
+const EXIT_RUN_FAILED: i32 = 1;
+/// The command line or configuration was invalid; nothing was simulated.
+const EXIT_USAGE: i32 = 2;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats]\n\napps: {}\nmodels: {}",
+        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault flags]\n\napps: {}\nmodels: {}",
         AppKind::ALL.map(|a| a.name()).join(", "),
         SwitchModel::ALL.map(|m| m.name()).join(", ")
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
+}
+
+/// Reports a usage/configuration error and exits with code 2.
+fn bad_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    usage()
 }
 
 fn parse_app(s: &str) -> AppKind {
-    AppKind::ALL.into_iter().find(|a| a.name() == s).unwrap_or_else(|| {
-        eprintln!("unknown app '{s}'");
-        usage()
-    })
+    AppKind::ALL
+        .into_iter()
+        .find(|a| a.name() == s)
+        .unwrap_or_else(|| bad_usage(&format!("unknown app '{s}'")))
 }
 
 fn parse_model(s: &str) -> SwitchModel {
-    SwitchModel::ALL.into_iter().find(|m| m.name() == s).unwrap_or_else(|| {
-        eprintln!("unknown model '{s}'");
-        usage()
-    })
+    SwitchModel::ALL
+        .into_iter()
+        .find(|m| m.name() == s)
+        .unwrap_or_else(|| bad_usage(&format!("unknown model '{s}'")))
 }
 
 fn parse_scale(s: &str) -> Scale {
@@ -48,11 +72,64 @@ fn parse_scale(s: &str) -> Scale {
         "tiny" => Scale::Tiny,
         "small" => Scale::Small,
         "full" => Scale::Full,
-        _ => {
-            eprintln!("unknown scale '{s}'");
-            usage()
-        }
+        _ => bad_usage(&format!("unknown scale '{s}' (want tiny, small, or full)")),
     }
+}
+
+/// Parses a flag value, rejecting garbage with a clear message instead of
+/// a panic.
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+    v.parse().unwrap_or_else(|_| bad_usage(&format!("bad value '{v}' for --{flag}")))
+}
+
+/// Parses `constant`, `uniform:LO:HI`, or `geometric:MIN:MEAN`.
+fn parse_latency_dist(spec: &str) -> LatencyDist {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["constant"] => LatencyDist::Constant,
+        ["uniform", lo, hi] => LatencyDist::Uniform {
+            lo: parse_num("latency-dist", lo),
+            hi: parse_num("latency-dist", hi),
+        },
+        ["geometric", min, mean] => {
+            let mean: f64 = parse_num("latency-dist", mean);
+            if !mean.is_finite() || mean < 0.0 {
+                bad_usage(&format!("geometric mean {mean} must be >= 0"));
+            }
+            LatencyDist::Geometric { min: parse_num("latency-dist", min), p: 1.0 / (mean + 1.0) }
+        }
+        _ => bad_usage(&format!(
+            "bad --latency-dist '{spec}' (want constant, uniform:LO:HI, or geometric:MIN:MEAN)"
+        )),
+    }
+}
+
+/// Value-taking fault flags shared by `run` and `run-file`.
+const FAULT_FLAGS: [&str; 6] =
+    ["seed", "fault-drop", "fault-delay", "fault-dup", "latency-dist", "max-retries"];
+
+/// Builds the fault configuration from the shared fault flags.
+fn fault_config(args: &Args) -> FaultConfig {
+    let mut fc = FaultConfig::default();
+    if let Some(v) = args.get("seed") {
+        fc.seed = parse_num("seed", v);
+    }
+    if let Some(v) = args.get("fault-drop") {
+        fc.drop_rate = parse_num("fault-drop", v);
+    }
+    if let Some(v) = args.get("fault-delay") {
+        fc.delay_rate = parse_num("fault-delay", v);
+    }
+    if let Some(v) = args.get("fault-dup") {
+        fc.dup_rate = parse_num("fault-dup", v);
+    }
+    if let Some(v) = args.get("latency-dist") {
+        fc.dist = parse_latency_dist(v);
+    }
+    if let Some(v) = args.get("max-retries") {
+        fc.max_retries = parse_num("max-retries", v);
+    }
+    fc
 }
 
 struct Args {
@@ -61,24 +138,29 @@ struct Args {
 }
 
 impl Args {
-    fn parse(takes_value: &[&str]) -> Args {
+    /// Parses the command line, accepting only the listed flags: anything
+    /// else is rejected with a clear message and exit code 2.
+    fn parse(takes_value: &[&str], boolean: &[&str]) -> Args {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut it = std::env::args().skip(1).peekable();
         while let Some(a) = it.next() {
-            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
-                let value = if takes_value.contains(&name) {
-                    Some(it.next().unwrap_or_else(|| {
-                        eprintln!("flag --{name} needs a value");
-                        usage()
-                    }))
-                } else {
-                    None
-                };
-                flags.push((name.to_string(), value));
-            } else {
+            if a == "-" || !a.starts_with('-') {
                 positional.push(a);
+                continue;
             }
+            let name =
+                a.strip_prefix("--").or_else(|| a.strip_prefix('-')).unwrap_or(&a).to_string();
+            let value = if takes_value.contains(&name.as_str()) {
+                Some(
+                    it.next().unwrap_or_else(|| bad_usage(&format!("flag --{name} needs a value"))),
+                )
+            } else if boolean.contains(&name.as_str()) {
+                None
+            } else {
+                bad_usage(&format!("unknown flag '{a}' for this command"));
+            };
+            flags.push((name, value));
         }
         Args { positional, flags }
     }
@@ -93,22 +175,34 @@ impl Args {
 }
 
 fn main() {
-    let args = Args::parse(&["model", "p", "t", "scale", "latency", "max-run"]);
-    match args.positional.first().map(String::as_str) {
+    // Dispatch on the subcommand first so every command can validate its
+    // own flag set strictly.
+    match std::env::args().nth(1).as_deref() {
         Some("list") => {
+            Args::parse(&[], &[]);
             for a in AppKind::ALL {
                 println!("{:<8} {}", a.name(), a.description());
             }
         }
         Some("models") => {
+            Args::parse(&[], &[]);
             for m in SwitchModel::ALL {
                 println!("{}", m.name());
             }
         }
-        Some("disasm") => cmd_disasm(&args),
-        Some("run") => cmd_run(&args),
-        Some("compile") => cmd_compile(&args),
-        Some("run-file") => cmd_run_file(&args),
+        Some("disasm") => cmd_disasm(&Args::parse(&["scale"], &["grouped"])),
+        Some("run") => {
+            let mut value_flags =
+                vec!["model", "p", "t", "scale", "latency", "max-run", "max-cycles"];
+            value_flags.extend(FAULT_FLAGS);
+            cmd_run(&Args::parse(&value_flags, &["priority", "estimate", "stats"]))
+        }
+        Some("compile") => cmd_compile(&Args::parse(&["t"], &["grouped"])),
+        Some("run-file") => {
+            let mut value_flags = vec!["model", "p", "t", "max-cycles"];
+            value_flags.extend(FAULT_FLAGS);
+            cmd_run_file(&Args::parse(&value_flags, &["stats"]))
+        }
         _ => usage(),
     }
 }
@@ -136,19 +230,19 @@ fn read_and_compile(args: &Args, nthreads: usize) -> mtsim_lang::CompiledUnit {
     let Some(path) = args.positional.get(1) else { usage() };
     let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_USAGE);
     });
     match mtsim_lang::compile(path, &source, nthreads) {
         Ok(unit) => unit,
         Err(e) => {
             eprintln!("{path}:{e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_RUN_FAILED);
         }
     }
 }
 
 fn cmd_compile(args: &Args) {
-    let threads: usize = args.get("t").map(|v| v.parse().expect("bad -t")).unwrap_or(4);
+    let threads: usize = args.get("t").map(|v| parse_num("t", v)).unwrap_or(4);
     let unit = read_and_compile(args, threads);
     if args.has("grouped") {
         let g = mtsim_opt::group_shared_loads(&unit.program);
@@ -167,24 +261,52 @@ fn cmd_compile(args: &Args) {
     }
 }
 
+/// Validates a finished config, mapping config errors to exit code 2.
+fn validate_or_die(cfg: &MachineConfig) {
+    if let Err(e) = cfg.try_validate() {
+        eprintln!("error: invalid configuration: {e}");
+        std::process::exit(EXIT_USAGE);
+    }
+}
+
+/// Prints the fault-recovery summary line when fault injection was on.
+fn print_fault_stats(cfg: &MachineConfig, r: &mtsim_core::RunResult) {
+    if !cfg.fault.is_active() {
+        return;
+    }
+    let wait: u64 = r.per_proc.iter().map(|p| p.fault_wait).sum();
+    println!(
+        "  faults        {} nack retries, {} timeout resends, {} cycles extra wait",
+        r.total_retries(),
+        r.total_timeouts(),
+        wait
+    );
+}
+
 fn cmd_run_file(args: &Args) {
     let model = args.get("model").map(parse_model).unwrap_or(SwitchModel::SwitchOnLoad);
-    let procs: usize = args.get("p").map(|v| v.parse().expect("bad -p")).unwrap_or(2);
-    let threads: usize = args.get("t").map(|v| v.parse().expect("bad -t")).unwrap_or(4);
+    let procs: usize = args.get("p").map(|v| parse_num("p", v)).unwrap_or(2);
+    let threads: usize = args.get("t").map(|v| parse_num("t", v)).unwrap_or(4);
+    let mut cfg = MachineConfig::new(model, procs, threads);
+    cfg.max_cycles =
+        args.get("max-cycles").map(|v| parse_num("max-cycles", v)).unwrap_or(5_000_000_000);
+    cfg.fault = fault_config(args);
+    validate_or_die(&cfg);
+
     let unit = read_and_compile(args, procs * threads);
     let program = if model.uses_explicit_switch() {
         mtsim_opt::group_shared_loads(&unit.program).program
     } else {
         unit.program.clone()
     };
-    let mut cfg = MachineConfig::new(model, procs, threads);
-    cfg.max_cycles = 5_000_000_000;
     let mem = mtsim_mem::SharedMemory::new(unit.shared_words());
-    let fin = match mtsim_core::Machine::new(cfg, &program, mem).run() {
+    let fin = match mtsim_core::Machine::try_new(cfg.clone(), &program, mem)
+        .and_then(mtsim_core::Machine::run)
+    {
         Ok(f) => f,
         Err(e) => {
             eprintln!("run failed: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_RUN_FAILED);
         }
     };
     println!(
@@ -206,6 +328,7 @@ fn cmd_run_file(args: &Args) {
             fin.result.run_lengths.mean(),
             fin.result.bits_per_cycle()
         );
+        print_fault_stats(&cfg, &fin.result);
     }
 }
 
@@ -213,27 +336,30 @@ fn cmd_run(args: &Args) {
     let Some(app_name) = args.positional.get(1) else { usage() };
     let kind = parse_app(app_name);
     let model = args.get("model").map(parse_model).unwrap_or(SwitchModel::SwitchOnLoad);
-    let procs: usize = args.get("p").map(|v| v.parse().expect("bad -p")).unwrap_or(4);
-    let threads: usize = args.get("t").map(|v| v.parse().expect("bad -t")).unwrap_or(4);
+    let procs: usize = args.get("p").map(|v| parse_num("p", v)).unwrap_or(4);
+    let threads: usize = args.get("t").map(|v| parse_num("t", v)).unwrap_or(4);
     let scale = args.get("scale").map(parse_scale).unwrap_or(Scale::Small);
 
     let mut cfg = MachineConfig::new(model, procs, threads);
     if let Some(l) = args.get("latency") {
-        cfg.latency = l.parse().expect("bad --latency");
+        cfg.latency = parse_num("latency", l);
     }
     if let Some(mr) = args.get("max-run") {
-        cfg.max_run = if mr == "off" { None } else { Some(mr.parse().expect("bad --max-run")) };
+        cfg.max_run = if mr == "off" { None } else { Some(parse_num("max-run", mr)) };
     }
     cfg.priority_scheduling = args.has("priority");
     cfg.interblock_estimate = args.has("estimate") && model == SwitchModel::ExplicitSwitch;
-    cfg.max_cycles = 5_000_000_000;
+    cfg.max_cycles =
+        args.get("max-cycles").map(|v| parse_num("max-cycles", v)).unwrap_or(5_000_000_000);
+    cfg.fault = fault_config(args);
+    validate_or_die(&cfg);
 
     let app = build_app(kind, scale, procs * threads);
-    let r = match run_app(&app, cfg) {
+    let r = match run_app(&app, cfg.clone()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("run failed: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_RUN_FAILED);
         }
     };
 
@@ -268,5 +394,6 @@ fn cmd_run(args: &Args) {
             );
         }
         println!("  scoreboard    {} stall cycles", r.scoreboard_stalls);
+        print_fault_stats(&cfg, &r);
     }
 }

@@ -12,11 +12,11 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::model::{MachineConfig, SwitchModel};
-use crate::stats::{ProcStats, RunLengthHist, RunResult, SimError};
+use crate::stats::{DeadlockWaiter, ProcStats, RunLengthHist, RunResult, SimError};
 use crate::thread::{PendingReg, Thread};
 use mtsim_asm::Program;
-use mtsim_isa::{cost, AccessHint, AluOp, BCond, CmpOp, FpuOp, Inst, Space};
-use mtsim_mem::{CoherentCaches, SharedMemory, TraceEvent, TraceKind, Traffic};
+use mtsim_isa::{cost, AccessHint, AluOp, BCond, CmpOp, FpuOp, Inst, Pc, Space};
+use mtsim_mem::{CoherentCaches, FaultPlan, SharedMemory, TraceEvent, TraceKind, Traffic};
 
 #[derive(Debug, Default)]
 struct Counters {
@@ -26,6 +26,12 @@ struct Counters {
     reads: u64,
     stalls: u64,
     instructions: u64,
+    /// Shared-memory mutations (stores, fetch-and-adds) applied so far;
+    /// the deadlock detector's clock.
+    mutations: u64,
+    /// Set when a thread's spin loop was just proven periodic — tells
+    /// `step_proc` to run the machine-wide deadlock scan.
+    spin_confirm: bool,
 }
 
 #[derive(Debug)]
@@ -45,7 +51,6 @@ enum Outcome {
 enum StepOut {
     Reschedule(u64),
     Done,
-    Watchdog,
 }
 
 /// A configured machine ready to run one program to completion.
@@ -78,6 +83,7 @@ pub struct Machine {
     run_lengths: RunLengthHist,
     counters: Counters,
     trace: Option<Vec<TraceEvent>>,
+    fault: Option<FaultPlan>,
 }
 
 /// A completed run: statistics plus the final shared-memory image (for
@@ -99,9 +105,25 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
-    /// [`MachineConfig::validate`]).
+    /// [`MachineConfig::validate`]). [`Machine::try_new`] reports the
+    /// problem as a [`SimError::Config`] instead.
     pub fn new(config: MachineConfig, program: &Program, shared: SharedMemory) -> Machine {
-        config.validate();
+        Machine::try_new(config, program, shared).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a machine, rejecting an invalid configuration as
+    /// [`SimError::Config`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when
+    /// [`MachineConfig::try_validate`] fails.
+    pub fn try_new(
+        config: MachineConfig,
+        program: &Program,
+        shared: SharedMemory,
+    ) -> Result<Machine, SimError> {
+        config.try_validate().map_err(|detail| SimError::Config { detail })?;
         let nthreads = config.total_threads();
         let local_words = config.local_mem_words.max(program.local_words());
         let threads: Vec<Thread> = (0..nthreads)
@@ -115,12 +137,11 @@ impl Machine {
                 stats: ProcStats::default(),
             })
             .collect();
-        let caches = config
-            .model
-            .uses_cache()
-            .then(|| CoherentCaches::new(config.processors, config.cache));
+        let caches =
+            config.model.uses_cache().then(|| CoherentCaches::new(config.processors, config.cache));
         let collect_trace = config.collect_trace;
-        Machine {
+        let fault = config.fault.is_active().then(|| FaultPlan::new(config.fault));
+        Ok(Machine {
             config,
             program: program.clone(),
             shared,
@@ -131,7 +152,8 @@ impl Machine {
             run_lengths: RunLengthHist::new(),
             counters: Counters::default(),
             trace: collect_trace.then(Vec::new),
-        }
+            fault,
+        })
     }
 
     /// The machine's configuration.
@@ -143,8 +165,15 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Watchdog`] if the configured cycle limit
-    /// elapses first (e.g. a deadlocked barrier).
+    /// * [`SimError::Deadlock`] when every live thread is proven stuck in
+    ///   a spin loop no remaining thread can release, reported with the
+    ///   full cycle of waiters;
+    /// * [`SimError::Watchdog`] when the configured cycle limit elapses
+    ///   first (livelock the detector cannot prove);
+    /// * [`SimError::Fault`] when a shared-memory request exhausts its
+    ///   retry budget under fault injection;
+    /// * [`SimError::BadProgram`] when the simulated program performs a
+    ///   wild memory access or runs off the end of its code.
     pub fn run(mut self) -> Result<FinishedRun, SimError> {
         let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
         let mut seq: u64 = 0;
@@ -155,20 +184,12 @@ impl Machine {
         while let Some(Reverse((t, _, p))) = heap.pop() {
             self.procs[p].time = self.procs[p].time.max(t);
             let peek = heap.peek().map(|r| r.0 .0).unwrap_or(u64::MAX);
-            match self.step_proc(p, peek) {
+            match self.step_proc(p, peek)? {
                 StepOut::Reschedule(at) => {
                     heap.push(Reverse((at, seq, p)));
                     seq += 1;
                 }
                 StepOut::Done => {}
-                StepOut::Watchdog => {
-                    let halted = self.threads.iter().filter(|t| t.halted).count();
-                    return Err(SimError::Watchdog {
-                        max_cycles: self.config.max_cycles,
-                        halted_threads: halted,
-                        total_threads: self.threads.len(),
-                    });
-                }
             }
         }
         debug_assert!(self.threads.iter().all(|t| t.halted), "event queue drained early");
@@ -198,7 +219,7 @@ impl Machine {
 
     /// Executes processor `p` from its current time until it must hand
     /// control back to the event loop.
-    fn step_proc(&mut self, p: usize, peek: u64) -> StepOut {
+    fn step_proc(&mut self, p: usize, peek: u64) -> Result<StepOut, SimError> {
         // Split borrows once for the whole batch.
         let config = &self.config;
         let program = &self.program;
@@ -209,11 +230,16 @@ impl Machine {
         let run_lengths = &mut self.run_lengths;
         let counters = &mut self.counters;
         let trace = &mut self.trace;
+        let fault = &mut self.fault;
         let proc = &mut self.procs[p];
 
         loop {
             if proc.time > config.max_cycles {
-                return StepOut::Watchdog;
+                return Err(SimError::Watchdog {
+                    max_cycles: config.max_cycles,
+                    halted_threads: threads.iter().filter(|t| t.halted).count(),
+                    total_threads: threads.len(),
+                });
             }
 
             // Pick a thread if none is running: first runnable in
@@ -221,7 +247,7 @@ impl Machine {
             if proc.current.is_none() {
                 if proc.queue.is_empty() {
                     proc.stats.finish_time = proc.time;
-                    return StepOut::Done;
+                    return Ok(StepOut::Done);
                 }
                 let now = proc.time;
                 // Round-robin over runnable threads; with priority
@@ -246,18 +272,29 @@ impl Machine {
                             proc.queue.iter().map(|&t| threads[t].wake).min().expect("nonempty");
                         proc.stats.idle += wake - proc.time;
                         proc.time = wake;
-                        return StepOut::Reschedule(wake);
+                        return Ok(StepOut::Reschedule(wake));
                     }
                 }
             }
             let tid = proc.current.expect("current thread");
-            let inst = *program.inst(threads[tid].pc);
+            let pc = threads[tid].pc;
+            if pc as usize >= program.len() {
+                return Err(SimError::BadProgram {
+                    thread: tid,
+                    pc: pc as u64,
+                    detail: format!(
+                        "program counter ran past the end of the code ({} instructions)",
+                        program.len()
+                    ),
+                });
+            }
+            let inst = *program.inst(pc);
 
             // Event boundary: shared accesses must execute in global time
             // order. If we have run ahead of the next event, hand control
             // back and resume when we are earliest again.
             if inst.is_shared_access() && proc.time > peek {
-                return StepOut::Reschedule(proc.time);
+                return Ok(StepOut::Reschedule(proc.time));
             }
 
             // Split-phase scoreboard: reading an in-flight value.
@@ -308,7 +345,19 @@ impl Machine {
                 traffic,
                 counters,
                 trace,
-            );
+                fault,
+            )?;
+            // A spin loop was just proven periodic: if every live thread
+            // is in that state (and has seen the latest mutation), nobody
+            // can ever write the words they wait on — a real deadlock.
+            if counters.spin_confirm {
+                counters.spin_confirm = false;
+                if let Some(err) =
+                    detect_deadlock(threads, config.threads_per_proc, counters.mutations, proc.time)
+                {
+                    return Err(err);
+                }
+            }
             match outcome {
                 Outcome::Continue => {
                     if config.model == SwitchModel::SwitchEveryCycle {
@@ -373,9 +422,7 @@ fn read_dispatch(
         // Zero-latency rotation: free, and keeps round-robin fairness so
         // same-processor spin loops cannot starve their peers.
         SwitchModel::Ideal => Outcome::Yield { wake: reply },
-        SwitchModel::SwitchEveryCycle | SwitchModel::SwitchOnLoad => {
-            Outcome::Yield { wake: reply }
-        }
+        SwitchModel::SwitchEveryCycle | SwitchModel::SwitchOnLoad => Outcome::Yield { wake: reply },
         SwitchModel::SwitchOnUse => {
             push_pending(th, dests, reply);
             Outcome::Continue
@@ -440,21 +487,37 @@ fn exec(
     traffic: &mut Traffic,
     counters: &mut Counters,
     trace: &mut Option<Vec<TraceEvent>>,
-) -> Outcome {
-    let record = |trace: &mut Option<Vec<TraceEvent>>, time: u64, kind: TraceKind, addr: u64, spin: bool| {
-        if let Some(tr) = trace.as_mut() {
-            tr.push(TraceEvent { time, proc: p as u32, thread: tid as u32, kind, addr, spin });
-        }
-    };
+    fault: &mut Option<FaultPlan>,
+) -> Result<Outcome, SimError> {
+    let record =
+        |trace: &mut Option<Vec<TraceEvent>>, time: u64, kind: TraceKind, addr: u64, spin: bool| {
+            if let Some(tr) = trace.as_mut() {
+                tr.push(TraceEvent { time, proc: p as u32, thread: tid as u32, kind, addr, spin });
+            }
+        };
     let t0 = proc.time;
+    let pc0 = th.pc;
     let c = cost::cycles(&inst) as u64;
     proc.time += c;
     proc.stats.busy += c;
     th.run_cycles += c;
     counters.instructions += 1;
     let latency = if config.model == SwitchModel::Ideal { 0 } else { config.latency };
-    let reply = t0 + latency;
     th.pc += 1;
+
+    // Deadlock tracking: an instruction that mutates state outside the
+    // spin snapshot's domain (local memory, shared memory, priority)
+    // invalidates any periodicity evidence for this thread.
+    if matches!(
+        inst,
+        Inst::Store { .. }
+            | Inst::FStore { .. }
+            | Inst::StorePair { .. }
+            | Inst::FetchAdd { .. }
+            | Inst::SetPrio { .. }
+    ) {
+        th.reset_spin();
+    }
 
     // Overwriting a register kills any in-flight value headed for it.
     if !th.pending.is_empty() {
@@ -470,12 +533,12 @@ fn exec(
         Inst::Alu { op, rd, rs, rt } => {
             let v = alu(op, th.rget(rs), th.rget(rt));
             th.rset(rd, v);
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::AluI { op, rd, rs, imm } => {
             let v = alu(op, th.rget(rs), imm);
             th.rset(rd, v);
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::Fpu { op, fd, fs, ft } => {
             let a = th.fget(fs);
@@ -489,7 +552,7 @@ fn exec(
                 FpuOp::Max => a.max(b),
             };
             th.fset(fd, v);
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::FpuCmp { op, rd, fs, ft } => {
             let a = th.fget(fs);
@@ -501,70 +564,78 @@ fn exec(
                 CmpOp::Ne => a != b,
             };
             th.rset(rd, v as i64);
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::FLi { fd, val } => {
             th.fset(fd, val);
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::CvtIF { fd, rs } => {
             th.fset(fd, th.rget(rs) as f64);
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::CvtFI { rd, fs } => {
             th.rset(rd, th.fget(fs) as i64);
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::MovIF { fd, rs } => {
             th.fset(fd, f64::from_bits(th.rget(rs) as u64));
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::MovFI { rd, fs } => {
             th.rset(rd, th.fget(fs).to_bits() as i64);
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::FSqrt { fd, fs } => {
             th.fset(fd, th.fget(fs).sqrt());
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
 
         Inst::Load { space: Space::Local, rd, base, offset, .. } => {
-            let v = th.local_read(th.ea(base, offset)) as i64;
+            let a = ea_checked(th, tid, pc0, base, offset)?;
+            let v = local_read_checked(th, tid, pc0, a)? as i64;
             th.rset(rd, v);
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::Store { space: Space::Local, rs, base, offset, .. } => {
-            let a = th.ea(base, offset);
-            th.local_write(a, th.rget(rs) as u64);
-            Outcome::Continue
+            let a = ea_checked(th, tid, pc0, base, offset)?;
+            let v = th.rget(rs) as u64;
+            local_write_checked(th, tid, pc0, a, v)?;
+            Ok(Outcome::Continue)
         }
         Inst::FLoad { space: Space::Local, fd, base, offset } => {
-            let v = f64::from_bits(th.local_read(th.ea(base, offset)));
+            let a = ea_checked(th, tid, pc0, base, offset)?;
+            let v = f64::from_bits(local_read_checked(th, tid, pc0, a)?);
             th.fset(fd, v);
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::FStore { space: Space::Local, fs, base, offset } => {
-            let a = th.ea(base, offset);
-            th.local_write(a, th.fget(fs).to_bits());
-            Outcome::Continue
+            let a = ea_checked(th, tid, pc0, base, offset)?;
+            let v = th.fget(fs).to_bits();
+            local_write_checked(th, tid, pc0, a, v)?;
+            Ok(Outcome::Continue)
         }
         Inst::LoadPair { space: Space::Local, fd1, fd2, base, offset } => {
-            let a = th.ea(base, offset);
-            let v1 = f64::from_bits(th.local_read(a));
-            let v2 = f64::from_bits(th.local_read(a + 1));
+            let a = ea_checked(th, tid, pc0, base, offset)?;
+            let v1 = f64::from_bits(local_read_checked(th, tid, pc0, a)?);
+            let v2 = f64::from_bits(local_read_checked(th, tid, pc0, a + 1)?);
             th.fset(fd1, v1);
             th.fset(fd2, v2);
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::StorePair { space: Space::Local, fs1, fs2, base, offset } => {
-            let a = th.ea(base, offset);
-            th.local_write(a, th.fget(fs1).to_bits());
-            th.local_write(a + 1, th.fget(fs2).to_bits());
-            Outcome::Continue
+            let a = ea_checked(th, tid, pc0, base, offset)?;
+            let (v1, v2) = (th.fget(fs1).to_bits(), th.fget(fs2).to_bits());
+            local_write_checked(th, tid, pc0, a, v1)?;
+            local_write_checked(th, tid, pc0, a + 1, v2)?;
+            Ok(Outcome::Continue)
         }
 
         Inst::Load { space: Space::Shared, rd, base, offset, hint } => {
-            let addr = th.ea(base, offset);
+            let addr = ea_checked(th, tid, pc0, base, offset)?;
+            let raw = shared
+                .try_read(addr)
+                .ok_or_else(|| bad_access(tid, pc0, "shared load", addr, shared.len()))?;
             let spin = hint == AccessHint::Spin;
             // Spin-loop polls re-read one address forever. Counting them as
             // one-line hits would let the §5.2 estimator skip every switch
@@ -581,22 +652,64 @@ fn exec(
                 lookup_cache(caches, p, addr, config, traffic, spin)
             };
             record(trace, t0, TraceKind::Read, addr, spin);
-            th.rset(rd, shared.read(addr) as i64);
+            th.rset(rd, raw as i64);
+            if spin {
+                let mutated = counters.mutations != th.seen_mutations;
+                th.seen_mutations = counters.mutations;
+                if th.note_spin_poll(addr, raw, t0, mutated) {
+                    counters.spin_confirm = true;
+                }
+            }
+            let reply = reply_time(
+                fault,
+                t0,
+                latency,
+                addr,
+                1,
+                spin,
+                p,
+                tid,
+                pc0,
+                &mut proc.stats,
+                traffic,
+            )?;
             let dests = [(false, rd.index() as u8)];
             let dests: &[(bool, u8)] = if rd.is_zero() { &[] } else { &dests };
-            read_dispatch(config, th, counters, dests, cache_hit, oneline_hit, reply)
+            Ok(read_dispatch(config, th, counters, dests, cache_hit, oneline_hit, reply))
         }
         Inst::FLoad { space: Space::Shared, fd, base, offset } => {
-            let addr = th.ea(base, offset);
+            let addr = ea_checked(th, tid, pc0, base, offset)?;
+            let raw = shared
+                .try_read(addr)
+                .ok_or_else(|| bad_access(tid, pc0, "shared load", addr, shared.len()))?;
             let oneline_hit = th.one_line.access(addr);
             let cache_hit = lookup_cache(caches, p, addr, config, traffic, false);
             record(trace, t0, TraceKind::Read, addr, false);
-            th.fset(fd, shared.read_f64(addr));
+            th.fset(fd, f64::from_bits(raw));
+            let reply = reply_time(
+                fault,
+                t0,
+                latency,
+                addr,
+                1,
+                false,
+                p,
+                tid,
+                pc0,
+                &mut proc.stats,
+                traffic,
+            )?;
             let dests = [(true, fd.index() as u8)];
-            read_dispatch(config, th, counters, &dests, cache_hit, oneline_hit, reply)
+            Ok(read_dispatch(config, th, counters, &dests, cache_hit, oneline_hit, reply))
         }
         Inst::LoadPair { space: Space::Shared, fd1, fd2, base, offset } => {
-            let addr = th.ea(base, offset);
+            let addr = ea_checked(th, tid, pc0, base, offset)?;
+            let raw1 = shared
+                .try_read(addr)
+                .ok_or_else(|| bad_access(tid, pc0, "shared load-pair", addr, shared.len()))?;
+            let raw2 = shared
+                .try_read(addr + 1)
+                .ok_or_else(|| bad_access(tid, pc0, "shared load-pair", addr + 1, shared.len()))?;
             let oneline_hit = th.one_line.access(addr);
             let cache_hit = if let Some(c) = caches.as_mut() {
                 let h1 = c.load(p, addr);
@@ -613,53 +726,101 @@ fn exec(
                 false
             };
             record(trace, t0, TraceKind::ReadPair, addr, false);
-            th.fset(fd1, shared.read_f64(addr));
-            th.fset(fd2, shared.read_f64(addr + 1));
+            th.fset(fd1, f64::from_bits(raw1));
+            th.fset(fd2, f64::from_bits(raw2));
+            let reply = reply_time(
+                fault,
+                t0,
+                latency,
+                addr,
+                2,
+                false,
+                p,
+                tid,
+                pc0,
+                &mut proc.stats,
+                traffic,
+            )?;
             let dests = [(true, fd1.index() as u8), (true, fd2.index() as u8)];
-            read_dispatch(config, th, counters, &dests, cache_hit, oneline_hit, reply)
+            Ok(read_dispatch(config, th, counters, &dests, cache_hit, oneline_hit, reply))
         }
         Inst::FetchAdd { rd, rs, base, offset, hint } => {
-            let addr = th.ea(base, offset);
+            let addr = ea_checked(th, tid, pc0, base, offset)?;
             let spin = hint == AccessHint::Spin;
             let inc = th.rget(rs);
+            let old = shared
+                .try_fetch_add(addr, inc)
+                .ok_or_else(|| bad_access(tid, pc0, "fetch-and-add", addr, shared.len()))?
+                as i64;
+            counters.mutations += 1;
             traffic.record_fetch_add(spin);
             if let Some(c) = caches.as_mut() {
                 let inv = c.store(p, addr);
                 traffic.record_invalidations(inv);
             }
             record(trace, t0, TraceKind::FetchAdd, addr, spin);
-            let old = shared.fetch_add(addr, inc) as i64;
             th.rset(rd, old);
             if rd.is_zero() {
-                // Fire-and-forget arrival (barrier-style): no reply awaited.
-                match config.model {
+                // Fire-and-forget arrival (barrier-style): no reply is
+                // awaited, so there is nothing for fault injection to drop
+                // that anyone waits on.
+                Ok(match config.model {
                     SwitchModel::SwitchEveryCycle => Outcome::Yield { wake: proc.time },
                     _ => Outcome::Continue,
-                }
+                })
             } else {
+                let reply = reply_time(
+                    fault,
+                    t0,
+                    latency,
+                    addr,
+                    1,
+                    spin,
+                    p,
+                    tid,
+                    pc0,
+                    &mut proc.stats,
+                    traffic,
+                )?;
                 let dests = [(false, rd.index() as u8)];
                 // Fetch-and-add always goes to memory: never a cache hit.
-                read_dispatch(config, th, counters, &dests, false, false, reply)
+                Ok(read_dispatch(config, th, counters, &dests, false, false, reply))
             }
         }
 
         Inst::Store { space: Space::Shared, rs, base, offset, hint } => {
-            let addr = th.ea(base, offset);
+            let addr = ea_checked(th, tid, pc0, base, offset)?;
             let spin = hint == AccessHint::Spin;
+            let v = th.rget(rs) as u64;
+            shared
+                .try_write(addr, v)
+                .ok_or_else(|| bad_access(tid, pc0, "shared store", addr, shared.len()))?;
+            counters.mutations += 1;
             shared_store(config, p, addr, caches, traffic, spin, 1);
             record(trace, t0, TraceKind::Write, addr, spin);
-            shared.write(addr, th.rget(rs) as u64);
-            store_outcome(config, proc)
+            Ok(store_outcome(config, proc))
         }
         Inst::FStore { space: Space::Shared, fs, base, offset } => {
-            let addr = th.ea(base, offset);
+            let addr = ea_checked(th, tid, pc0, base, offset)?;
+            let v = th.fget(fs).to_bits();
+            shared
+                .try_write(addr, v)
+                .ok_or_else(|| bad_access(tid, pc0, "shared store", addr, shared.len()))?;
+            counters.mutations += 1;
             shared_store(config, p, addr, caches, traffic, false, 1);
             record(trace, t0, TraceKind::Write, addr, false);
-            shared.write_f64(addr, th.fget(fs));
-            store_outcome(config, proc)
+            Ok(store_outcome(config, proc))
         }
         Inst::StorePair { space: Space::Shared, fs1, fs2, base, offset } => {
-            let addr = th.ea(base, offset);
+            let addr = ea_checked(th, tid, pc0, base, offset)?;
+            let (v1, v2) = (th.fget(fs1).to_bits(), th.fget(fs2).to_bits());
+            shared
+                .try_write(addr, v1)
+                .ok_or_else(|| bad_access(tid, pc0, "shared store-pair", addr, shared.len()))?;
+            shared
+                .try_write(addr + 1, v2)
+                .ok_or_else(|| bad_access(tid, pc0, "shared store-pair", addr + 1, shared.len()))?;
+            counters.mutations += 1;
             record(trace, t0, TraceKind::WritePair, addr, false);
             shared_store(config, p, addr, caches, traffic, false, 2);
             if let Some(c) = caches.as_mut() {
@@ -668,9 +829,7 @@ fn exec(
                     traffic.record_invalidations(inv);
                 }
             }
-            shared.write_f64(addr, th.fget(fs1));
-            shared.write_f64(addr + 1, th.fget(fs2));
-            store_outcome(config, proc)
+            Ok(store_outcome(config, proc))
         }
 
         Inst::Branch { cond, rs, rt, target } => {
@@ -687,20 +846,150 @@ fn exec(
             if take {
                 th.pc = target.pc();
             }
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::Jump { target } => {
             th.pc = target.pc();
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
         Inst::SetPrio { level } => {
             th.prio = level;
-            Outcome::Continue
+            Ok(Outcome::Continue)
         }
-        Inst::Switch => switch_outcome(config, th, proc, counters),
-        Inst::Halt => Outcome::Halt,
-        Inst::Nop => Outcome::Continue,
+        Inst::Switch => Ok(switch_outcome(config, th, proc, counters)),
+        Inst::Halt => Ok(Outcome::Halt),
+        Inst::Nop => Ok(Outcome::Continue),
     }
+}
+
+/// `BadProgram` for a wild memory access.
+fn bad_access(tid: usize, pc: Pc, what: &str, addr: u64, len: u64) -> SimError {
+    SimError::BadProgram {
+        thread: tid,
+        pc: pc as u64,
+        detail: format!("{what} out of range: word {addr} >= {len}"),
+    }
+}
+
+/// Effective-address computation that turns a negative address into
+/// `BadProgram` instead of wrapping or panicking.
+fn ea_checked(
+    th: &Thread,
+    tid: usize,
+    pc: Pc,
+    base: mtsim_isa::Reg,
+    offset: i64,
+) -> Result<u64, SimError> {
+    th.try_ea(base, offset).ok_or_else(|| SimError::BadProgram {
+        thread: tid,
+        pc: pc as u64,
+        detail: format!(
+            "negative effective address {} ({base} + {offset})",
+            th.rget(base).wrapping_add(offset)
+        ),
+    })
+}
+
+/// Checked local-memory load.
+fn local_read_checked(th: &Thread, tid: usize, pc: Pc, addr: u64) -> Result<u64, SimError> {
+    th.try_local_read(addr)
+        .ok_or_else(|| bad_access(tid, pc, "local load", addr, th.local.len() as u64))
+}
+
+/// Checked local-memory store.
+fn local_write_checked(
+    th: &mut Thread,
+    tid: usize,
+    pc: Pc,
+    addr: u64,
+    v: u64,
+) -> Result<(), SimError> {
+    let len = th.local.len() as u64;
+    th.try_local_write(addr, v).ok_or_else(|| bad_access(tid, pc, "local store", addr, len))
+}
+
+/// Computes the reply time of one reply-bearing shared request, running
+/// the retry protocol when fault injection is active. Faults are timing
+/// and traffic events only: the value was already taken from shared memory
+/// in global order, so a request that survives its retries observes
+/// exactly what a fault-free run would have.
+#[allow(clippy::too_many_arguments)]
+fn reply_time(
+    fault: &mut Option<FaultPlan>,
+    t0: u64,
+    latency: u64,
+    addr: u64,
+    words: u64,
+    spin: bool,
+    p: usize,
+    tid: usize,
+    pc: Pc,
+    stats: &mut ProcStats,
+    traffic: &mut Traffic,
+) -> Result<u64, SimError> {
+    let Some(plan) = fault.as_mut() else {
+        return Ok(t0 + latency);
+    };
+    match plan.request(latency) {
+        Ok(out) => {
+            if out.retries > 0 || out.timeouts > 0 || out.duplicates > 0 {
+                traffic.record_fault_recovery(
+                    out.retries,
+                    out.timeouts,
+                    out.duplicates,
+                    words,
+                    spin,
+                );
+            }
+            stats.retries += out.retries as u64;
+            stats.timeouts += out.timeouts as u64;
+            stats.fault_wait += out.delay.saturating_sub(latency);
+            Ok(t0 + out.delay)
+        }
+        Err(e) => Err(SimError::Fault {
+            proc: p,
+            thread: tid,
+            pc: pc as u64,
+            addr,
+            attempts: e.attempts,
+            cycle: t0 + e.wasted,
+        }),
+    }
+}
+
+/// Machine-wide deadlock scan, run the moment some thread's spin loop is
+/// proven periodic. Deadlock is declared only when **every** live thread
+/// holds a periodicity proof that is current (`seen_mutations` equals the
+/// global count — no shared write landed after the proof): then no live
+/// thread can ever store, fetch-add, or halt, so the words being waited on
+/// are frozen forever.
+fn detect_deadlock(
+    threads: &[Thread],
+    threads_per_proc: usize,
+    mutations: u64,
+    now: u64,
+) -> Option<SimError> {
+    let mut waiters = Vec::new();
+    let mut halted = 0usize;
+    for (i, th) in threads.iter().enumerate() {
+        if th.halted {
+            halted += 1;
+            continue;
+        }
+        if !th.spin_blocked() || th.seen_mutations != mutations {
+            return None;
+        }
+        waiters.push(DeadlockWaiter {
+            thread: i,
+            proc: i / threads_per_proc,
+            addr: th.spin_addr.unwrap_or(0),
+            value: th.last_poll_value,
+        });
+    }
+    if waiters.is_empty() {
+        return None;
+    }
+    Some(SimError::Deadlock { cycle: now, halted_threads: halted, waiters })
 }
 
 fn alu(op: AluOp, a: i64, b: i64) -> i64 {

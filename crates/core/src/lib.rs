@@ -16,6 +16,13 @@
 //! (Tables 2 and 4), context switches taken/skipped, dynamic grouping
 //! factors, message/bandwidth tallies (§6.1), and cache statistics.
 //!
+//! Beyond the paper, the engine is hardened for hostile conditions: a
+//! seeded fault-injection layer (unreliable replies with a retry/NACK
+//! protocol — see `mtsim_mem::FaultConfig`), a deadlock detector that
+//! proves spin-loop cycles and reports the waiting threads as
+//! [`SimError::Deadlock`], and typed [`SimError`]s instead of panics for
+//! every reachable failure of a simulated program.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -41,4 +48,4 @@ mod thread;
 
 pub use engine::{FinishedRun, Machine};
 pub use model::{MachineConfig, SwitchModel};
-pub use stats::{ProcStats, RunLengthHist, RunResult, SimError};
+pub use stats::{DeadlockWaiter, ProcStats, RunLengthHist, RunResult, SimError};

@@ -1,7 +1,7 @@
 //! Multithreading models (the paper's Figure 1 taxonomy) and machine
 //! configuration.
 
-use mtsim_mem::CacheParams;
+use mtsim_mem::{CacheParams, FaultConfig};
 
 /// When a processor context-switches between its resident threads.
 ///
@@ -138,6 +138,10 @@ pub struct MachineConfig {
     pub priority_scheduling: bool,
     /// Watchdog: abort the run after this many cycles (deadlock guard).
     pub max_cycles: u64,
+    /// Fault injection: seeded unreliable-network model (drops/NACKs,
+    /// delays, duplicates, latency distributions). The default is inactive
+    /// — the paper's reliable constant-latency network.
+    pub fault: FaultConfig,
 }
 
 impl Default for MachineConfig {
@@ -155,6 +159,7 @@ impl Default for MachineConfig {
             collect_trace: false,
             priority_scheduling: false,
             max_cycles: u64::MAX,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -218,25 +223,47 @@ impl MachineConfig {
         self
     }
 
+    /// Sets the fault-injection configuration (builder style).
+    pub fn with_faults(mut self, fault: FaultConfig) -> MachineConfig {
+        self.fault = fault;
+        self
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found instead of panicking.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.processors == 0 {
+            return Err("need at least one processor".into());
+        }
+        if self.threads_per_proc == 0 {
+            return Err("need at least one thread per processor".into());
+        }
+        if self.model.uses_cache() {
+            self.cache.validate();
+            if self.processors > 128 {
+                return Err("cache directory supports at most 128 processors".into());
+            }
+        }
+        if self.interblock_estimate && self.model != SwitchModel::ExplicitSwitch {
+            return Err("interblock_estimate only applies to the explicit-switch model".into());
+        }
+        self.fault.check()?;
+        if self.fault.is_active() && self.model == SwitchModel::Ideal {
+            return Err("fault injection is meaningless on the ideal zero-latency machine".into());
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
-    /// Panics on zero processors/threads, or an inter-block estimate
-    /// request on a model other than `ExplicitSwitch`.
+    /// Panics on zero processors/threads, an inter-block estimate request
+    /// on a model other than `ExplicitSwitch`, or bad fault rates. Library
+    /// users who must not panic call [`try_validate`](Self::try_validate).
     pub fn validate(&self) {
-        assert!(self.processors > 0, "need at least one processor");
-        assert!(self.threads_per_proc > 0, "need at least one thread per processor");
-        if self.model.uses_cache() {
-            self.cache.validate();
-            assert!(self.processors <= 128, "cache directory supports at most 128 processors");
-        }
-        if self.interblock_estimate {
-            assert_eq!(
-                self.model,
-                SwitchModel::ExplicitSwitch,
-                "interblock_estimate only applies to the explicit-switch model"
-            );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 }
@@ -293,5 +320,24 @@ mod tests {
     fn zero_processors_rejected() {
         let c = MachineConfig { processors: 0, ..MachineConfig::default() };
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_reports_instead_of_panicking() {
+        let c = MachineConfig { threads_per_proc: 0, ..MachineConfig::default() };
+        assert!(c.try_validate().unwrap_err().contains("thread"));
+
+        let fault = FaultConfig { drop_rate: 1.5, ..FaultConfig::default() };
+        let c = MachineConfig::default().with_faults(fault);
+        assert!(c.try_validate().is_err());
+    }
+
+    #[test]
+    fn faults_rejected_on_ideal_machine() {
+        let fault = FaultConfig { drop_rate: 0.1, ..FaultConfig::default() };
+        let c = MachineConfig::ideal(4).with_faults(fault);
+        assert!(c.try_validate().unwrap_err().contains("ideal"));
+        let c = MachineConfig::default().with_faults(fault);
+        assert!(c.try_validate().is_ok());
     }
 }

@@ -57,11 +57,7 @@ impl RunLengthHist {
         if self.count == 0 {
             return 0.0;
         }
-        let b = if len <= 1 {
-            0
-        } else {
-            (64 - (len - 1).leading_zeros() as usize).min(16)
-        };
+        let b = if len <= 1 { 0 } else { (64 - (len - 1).leading_zeros() as usize).min(16) };
         self.buckets[b] as f64 / self.count as f64
     }
 
@@ -103,13 +99,45 @@ pub struct ProcStats {
     pub stall: u64,
     /// Local completion time of this processor.
     pub finish_time: u64,
+    /// Requests resent after an explicit NACK (fault injection).
+    pub retries: u64,
+    /// Requests resent after a silent-drop timeout (fault injection).
+    pub timeouts: u64,
+    /// Extra cycles this processor's threads spent waiting out faulted
+    /// replies (beyond the fault-free reply time).
+    pub fault_wait: u64,
+}
+
+/// One blocked thread inside a reported deadlock: who waits, where, and on
+/// which shared word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlockWaiter {
+    /// Thread id.
+    pub thread: usize,
+    /// Hosting processor.
+    pub proc: usize,
+    /// Shared word the thread is spin-waiting on.
+    pub addr: u64,
+    /// Value the thread keeps reading back.
+    pub value: u64,
+}
+
+impl std::fmt::Display for DeadlockWaiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "thread {} (proc {}) spinning on word {} = {}",
+            self.thread, self.proc, self.addr, self.value
+        )
+    }
 }
 
 /// Why a simulation ended unsuccessfully.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The watchdog cycle limit elapsed before all threads halted —
-    /// usually a deadlock (e.g. a barrier waiting for a halted thread).
+    /// the backstop for livelock the deadlock detector cannot prove
+    /// (e.g. an infinite private-compute loop).
     Watchdog {
         /// The configured limit.
         max_cycles: u64,
@@ -117,6 +145,49 @@ pub enum SimError {
         halted_threads: usize,
         /// Total threads.
         total_threads: usize,
+    },
+    /// A shared-memory request exhausted its retry budget under fault
+    /// injection.
+    Fault {
+        /// Issuing processor.
+        proc: usize,
+        /// Issuing thread.
+        thread: usize,
+        /// Program counter of the faulted access.
+        pc: u64,
+        /// Shared word address requested.
+        addr: u64,
+        /// Attempts made (first send plus retries).
+        attempts: u32,
+        /// Cycle at which the request was abandoned.
+        cycle: u64,
+    },
+    /// Every live thread is spin-waiting on a shared word that no
+    /// remaining thread can ever change: a proven deadlock, reported with
+    /// the full cycle of waiters instead of burning cycles until the
+    /// watchdog.
+    Deadlock {
+        /// Cycle at which the deadlock was proven.
+        cycle: u64,
+        /// Threads already halted.
+        halted_threads: usize,
+        /// The blocked threads and the words they wait on.
+        waiters: Vec<DeadlockWaiter>,
+    },
+    /// The simulated program performed an illegal operation (wild shared
+    /// or local access, negative address, runaway program counter).
+    BadProgram {
+        /// Offending thread.
+        thread: usize,
+        /// Program counter of the offending instruction.
+        pc: u64,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The machine configuration itself is invalid.
+    Config {
+        /// Human-readable description.
+        detail: String,
     },
 }
 
@@ -127,6 +198,29 @@ impl std::fmt::Display for SimError {
                 f,
                 "watchdog expired after {max_cycles} cycles with {halted_threads}/{total_threads} threads halted"
             ),
+            SimError::Fault { proc, thread, pc, addr, attempts, cycle } => write!(
+                f,
+                "shared-memory request to word {addr} by thread {thread} (proc {proc}, pc {pc}) \
+                 abandoned after {attempts} attempts at cycle {cycle}"
+            ),
+            SimError::Deadlock { cycle, halted_threads, waiters } => {
+                write!(
+                    f,
+                    "deadlock at cycle {cycle}: {} thread(s) blocked ({halted_threads} halted): ",
+                    waiters.len()
+                )?;
+                for (i, w) in waiters.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                Ok(())
+            }
+            SimError::BadProgram { thread, pc, detail } => {
+                write!(f, "bad program: {detail} (thread {thread}, pc {pc})")
+            }
+            SimError::Config { detail } => write!(f, "invalid configuration: {detail}"),
         }
     }
 }
@@ -195,6 +289,16 @@ impl RunResult {
         self.traffic.bits_per_cycle(self.cycles, self.per_proc.len() as u64)
     }
 
+    /// Total NACK-driven retries over all processors (fault injection).
+    pub fn total_retries(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.retries).sum()
+    }
+
+    /// Total timeout-driven resends over all processors (fault injection).
+    pub fn total_timeouts(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.timeouts).sum()
+    }
+
     /// One-line-cache hit rate (§5.2 estimator), 0.0 if unused.
     pub fn one_line_hit_rate(&self) -> f64 {
         if self.one_line.1 == 0 {
@@ -257,8 +361,8 @@ mod tests {
         let r = RunResult {
             cycles: 100,
             per_proc: vec![
-                ProcStats { busy: 80, idle: 20, overhead: 0, stall: 0, finish_time: 100 },
-                ProcStats { busy: 40, idle: 60, overhead: 0, stall: 0, finish_time: 100 },
+                ProcStats { busy: 80, idle: 20, finish_time: 100, ..ProcStats::default() },
+                ProcStats { busy: 40, idle: 60, finish_time: 100, ..ProcStats::default() },
             ],
             run_lengths: RunLengthHist::new(),
             switches_taken: 10,
@@ -281,5 +385,53 @@ mod tests {
         let e = SimError::Watchdog { max_cycles: 10, halted_threads: 1, total_threads: 4 };
         let s = e.to_string();
         assert!(s.contains("watchdog") && s.contains("1/4"));
+    }
+
+    #[test]
+    fn deadlock_error_names_every_waiter() {
+        let e = SimError::Deadlock {
+            cycle: 500,
+            halted_threads: 0,
+            waiters: vec![
+                DeadlockWaiter { thread: 0, proc: 0, addr: 7, value: 1 },
+                DeadlockWaiter { thread: 3, proc: 1, addr: 9, value: 0 },
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlock"));
+        assert!(s.contains("thread 0") && s.contains("thread 3"));
+        assert!(s.contains("word 7") && s.contains("word 9"));
+    }
+
+    #[test]
+    fn fault_and_bad_program_errors_display() {
+        let f = SimError::Fault { proc: 2, thread: 5, pc: 10, addr: 33, attempts: 9, cycle: 4000 };
+        assert!(f.to_string().contains("9 attempts"));
+        let b = SimError::BadProgram { thread: 1, pc: 3, detail: "wild shared load".into() };
+        assert!(b.to_string().contains("wild shared load"));
+    }
+
+    #[test]
+    fn retry_totals_sum_over_processors() {
+        let mut r = RunResult {
+            cycles: 1,
+            per_proc: vec![ProcStats::default(); 2],
+            run_lengths: RunLengthHist::new(),
+            switches_taken: 0,
+            switches_skipped: 0,
+            forced_switches: 0,
+            reads_issued: 0,
+            traffic: Traffic::new(),
+            cache: None,
+            one_line: (0, 0),
+            scoreboard_stalls: 0,
+            instructions: 0,
+            trace: None,
+        };
+        r.per_proc[0].retries = 3;
+        r.per_proc[1].retries = 4;
+        r.per_proc[1].timeouts = 2;
+        assert_eq!(r.total_retries(), 7);
+        assert_eq!(r.total_timeouts(), 2);
     }
 }

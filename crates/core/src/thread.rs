@@ -45,7 +45,41 @@ pub(crate) struct Thread {
     /// Scheduling priority (0 = normal); set by `SetPrio`, honored when
     /// `MachineConfig::priority_scheduling` is enabled.
     pub prio: u8,
+    /// Deadlock detection: the shared word this thread's current spin loop
+    /// polls (spin-hinted loads with no intervening store/fetch-add).
+    pub spin_addr: Option<u64>,
+    /// Consecutive polls of `spin_addr` with no intervening shared-memory
+    /// mutation anywhere in the machine.
+    pub polls_clean: u32,
+    /// Issue time of the latest poll of `spin_addr`.
+    pub last_poll: u64,
+    /// Value the latest poll read back (reported in deadlock diagnostics).
+    pub last_poll_value: u64,
+    /// Global mutation count observed at the latest poll.
+    pub seen_mutations: u64,
+    /// Architectural state captured a few clean polls into the spin (see
+    /// [`Thread::note_spin_poll`]).
+    pub spin_snapshot: Option<Box<SpinSnapshot>>,
+    /// Proven periodic: a later clean poll reproduced `spin_snapshot`
+    /// exactly, so absent an external shared-memory write this thread will
+    /// spin forever.
+    pub spin_confirmed: bool,
 }
+
+/// The architectural state that determines a thread's future behavior,
+/// given unchanged local and shared memory: program counter and both
+/// register files (floats compared bitwise). Local memory is not included
+/// — local stores reset the spin tracking instead — and timing state
+/// (wake/pending times) never influences control flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SpinSnapshot {
+    pc: Pc,
+    regs: [i64; Reg::COUNT],
+    fregs: [u64; FReg::COUNT],
+}
+
+/// Clean polls of one address before the state snapshot is captured.
+const SPIN_SNAPSHOT_AT: u32 = 4;
 
 impl Thread {
     /// Creates a thread with the entry-ABI registers set (`r1` = tid,
@@ -69,6 +103,13 @@ impl Thread {
             one_line: OneLineCache::default(),
             run_cycles: 0,
             prio: 0,
+            spin_addr: None,
+            polls_clean: 0,
+            last_poll: 0,
+            last_poll_value: 0,
+            seen_mutations: 0,
+            spin_snapshot: None,
+            spin_confirmed: false,
         }
     }
 
@@ -98,43 +139,94 @@ impl Thread {
         self.fregs[f.index()] = v;
     }
 
-    /// Computes the effective word address of `base + offset`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the effective address is negative.
+    /// Computes the effective word address of `base + offset`, or `None`
+    /// when it is negative (a wild address in the simulated program). The
+    /// engine turns `None` into `SimError::BadProgram` — there is no
+    /// panicking variant.
     #[inline]
-    pub fn ea(&self, base: Reg, offset: i64) -> u64 {
+    pub fn try_ea(&self, base: Reg, offset: i64) -> Option<u64> {
         let a = self.rget(base).wrapping_add(offset);
-        debug_assert!(a >= 0, "negative effective address {a} (base {base}, offset {offset})");
-        a as u64
+        if a < 0 {
+            None
+        } else {
+            Some(a as u64)
+        }
     }
 
-    /// Reads local memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics (with a clear message) on an out-of-range local access.
+    /// Reads local memory, or `None` when out of range.
     #[inline]
-    pub fn local_read(&self, addr: u64) -> u64 {
-        *self
-            .local
-            .get(addr as usize)
-            .unwrap_or_else(|| panic!("local load out of range: {addr} >= {}", self.local.len()))
+    pub fn try_local_read(&self, addr: u64) -> Option<u64> {
+        self.local.get(addr as usize).copied()
     }
 
-    /// Writes local memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an out-of-range local access.
+    /// Writes local memory, or returns `None` when out of range.
     #[inline]
-    pub fn local_write(&mut self, addr: u64, v: u64) {
-        let len = self.local.len();
-        *self
-            .local
-            .get_mut(addr as usize)
-            .unwrap_or_else(|| panic!("local store out of range: {addr} >= {len}")) = v;
+    pub fn try_local_write(&mut self, addr: u64, v: u64) -> Option<()> {
+        *self.local.get_mut(addr as usize)? = v;
+        Some(())
+    }
+
+    /// The current behavior-determining architectural state.
+    fn spin_state(&self) -> SpinSnapshot {
+        SpinSnapshot { pc: self.pc, regs: self.regs, fregs: self.fregs.map(f64::to_bits) }
+    }
+
+    /// Records a spin-hinted poll of shared word `addr` issued at `now`,
+    /// reading back `value`. `mutated_since` is true when any shared word
+    /// anywhere was mutated since this thread's previous poll.
+    ///
+    /// After [`SPIN_SNAPSHOT_AT`] clean polls of one address the thread's
+    /// architectural state is snapshotted; if a later clean poll reproduces
+    /// the snapshot exactly, the loop is proven periodic: with unchanged
+    /// local memory (local stores reset the tracking) and unchanged shared
+    /// memory (`mutated_since` would have reset it), execution from
+    /// identical state replays identically, so the thread can never leave
+    /// the loop, store, or halt unless some *other* thread writes shared
+    /// memory. Returns true the moment that proof lands.
+    pub fn note_spin_poll(&mut self, addr: u64, value: u64, now: u64, mutated_since: bool) -> bool {
+        if self.spin_addr != Some(addr) || mutated_since {
+            self.spin_addr = Some(addr);
+            self.polls_clean = 0;
+            self.spin_snapshot = None;
+            self.spin_confirmed = false;
+        }
+        self.polls_clean = self.polls_clean.saturating_add(1);
+        self.last_poll = now;
+        self.last_poll_value = value;
+        if self.spin_confirmed {
+            return false;
+        }
+        if self.polls_clean == SPIN_SNAPSHOT_AT {
+            self.spin_snapshot = Some(Box::new(self.spin_state()));
+        } else if self.polls_clean > SPIN_SNAPSHOT_AT {
+            if let Some(s) = &self.spin_snapshot {
+                if **s == self.spin_state() {
+                    self.spin_confirmed = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Forgets any spin-loop evidence: called on every instruction that
+    /// mutates state outside the snapshot's domain (local stores, shared
+    /// stores, fetch-and-adds, priority changes).
+    #[inline]
+    pub fn reset_spin(&mut self) {
+        if self.spin_addr.is_some() {
+            self.spin_addr = None;
+            self.polls_clean = 0;
+            self.spin_snapshot = None;
+            self.spin_confirmed = false;
+        }
+    }
+
+    /// True when this thread is proven stuck in its spin loop (see
+    /// [`Thread::note_spin_poll`]).
+    #[inline]
+    pub fn spin_blocked(&self) -> bool {
+        !self.halted && self.spin_confirmed
     }
 
     /// Removes `(fp, idx)` from the pending set (an overwrite kills the
@@ -146,7 +238,12 @@ impl Thread {
     /// Drops pending entries that have arrived by `now`; returns the
     /// latest `ready` among pending entries matching the given registers,
     /// if any are still in flight.
-    pub fn pending_ready_for(&mut self, now: u64, int_uses: &[Reg], fp_uses: &[FReg]) -> Option<u64> {
+    pub fn pending_ready_for(
+        &mut self,
+        now: u64,
+        int_uses: &[Reg],
+        fp_uses: &[FReg],
+    ) -> Option<u64> {
         self.pending.retain(|p| p.ready > now);
         let mut needed: Option<u64> = None;
         for p in &self.pending {
@@ -214,9 +311,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "local load out of range")]
-    fn local_oob_panics() {
-        let t = Thread::new(0, 1, 4);
-        let _ = t.local_read(4);
+    fn checked_local_and_ea() {
+        let mut t = Thread::new(0, 1, 4);
+        assert_eq!(t.try_local_read(3), Some(0));
+        assert_eq!(t.try_local_read(4), None);
+        assert_eq!(t.try_local_write(3, 9), Some(()));
+        assert_eq!(t.try_local_write(4, 9), None);
+        assert_eq!(t.try_local_read(3), Some(9));
+        t.rset(Reg::new(5), -10);
+        assert_eq!(t.try_ea(Reg::new(5), 4), None);
+        assert_eq!(t.try_ea(Reg::new(5), 10), Some(0));
+    }
+
+    #[test]
+    fn spin_tracking_confirms_periodic_state() {
+        let mut t = Thread::new(0, 1, 1);
+        assert!(!t.spin_blocked());
+        // Four clean polls capture the snapshot; the fifth, with identical
+        // architectural state, proves the loop periodic.
+        for i in 0..4 {
+            assert!(!t.note_spin_poll(7, 0, 100 * (i + 1), false));
+            assert!(!t.spin_blocked());
+        }
+        assert!(t.note_spin_poll(7, 0, 500, false), "fifth identical poll confirms");
+        assert!(t.spin_blocked());
+        assert_eq!(t.last_poll_value, 0);
+        // Once confirmed, further polls report nothing new.
+        assert!(!t.note_spin_poll(7, 0, 600, false));
+        // A mutation anywhere restarts the proof.
+        assert!(!t.note_spin_poll(7, 0, 700, true));
+        assert!(!t.spin_blocked());
+        // Real work clears the evidence entirely.
+        t.reset_spin();
+        assert_eq!(t.spin_addr, None);
+        assert_eq!(t.polls_clean, 0);
+    }
+
+    #[test]
+    fn spin_tracking_rejects_changing_state() {
+        let mut t = Thread::new(0, 1, 1);
+        // A counting loop polls the same word, but a register changes every
+        // iteration — the snapshot never matches, so no confirmation.
+        for i in 0..50 {
+            t.rset(Reg::new(9), i);
+            assert!(!t.note_spin_poll(7, 0, (100 * (i + 1)) as u64, false));
+        }
+        assert!(!t.spin_blocked());
+        // Polling a different word restarts the window.
+        t.note_spin_poll(8, 1, 9000, false);
+        assert_eq!(t.polls_clean, 1);
     }
 }

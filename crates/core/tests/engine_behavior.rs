@@ -41,11 +41,7 @@ fn switch_on_load_single_thread_starves() {
     // One thread, 200-cycle latency: almost all time is idle waiting.
     let prog = load_compute_kernel(50, 4);
     let r = run(MachineConfig::new(SwitchModel::SwitchOnLoad, 1, 1), &prog, 128);
-    assert!(
-        r.utilization() < 0.15,
-        "expected starvation, got utilization {}",
-        r.utilization()
-    );
+    assert!(r.utilization() < 0.15, "expected starvation, got utilization {}", r.utilization());
     // Every shared load yields.
     assert!(r.switches_taken >= 50);
 }
@@ -73,10 +69,7 @@ fn run_lengths_match_instruction_spacing() {
     let prog = load_compute_kernel(100, 10);
     let r = run(MachineConfig::new(SwitchModel::SwitchOnLoad, 1, 2), &prog, 128);
     let mean = r.run_lengths.mean();
-    assert!(
-        (10.0..30.0).contains(&mean),
-        "mean run-length {mean} out of expected band"
-    );
+    assert!((10.0..30.0).contains(&mean), "mean run-length {mean} out of expected band");
 }
 
 #[test]
@@ -141,9 +134,34 @@ fn ticket_lock_provides_mutual_exclusion() {
 }
 
 #[test]
-fn watchdog_fires_on_infinite_spin() {
+fn infinite_spin_is_reported_as_deadlock() {
+    // A spin loop on a word nobody will ever write: the detector proves
+    // the cycle and reports the waiter long before the watchdog limit.
     let mut b = ProgramBuilder::new("spin");
     b.while_(b.load_shared_hint(b.const_i(0), AccessHint::Spin).eq(0), |_b| {});
+    let prog = b.finish();
+    let mut cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, 1, 1);
+    cfg.max_cycles = 50_000;
+    let err = Machine::new(cfg, &prog, SharedMemory::new(1)).run().unwrap_err();
+    match err {
+        SimError::Deadlock { cycle, halted_threads, waiters } => {
+            assert!(cycle < 50_000, "proven well before the watchdog");
+            assert_eq!(halted_threads, 0);
+            assert_eq!(waiters.len(), 1);
+            assert_eq!(waiters[0].thread, 0);
+            assert_eq!(waiters[0].addr, 0);
+            assert_eq!(waiters[0].value, 0);
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_still_backstops_private_livelock() {
+    // An infinite loop with no shared polling at all: the deadlock
+    // detector has nothing to prove, so the watchdog fires.
+    let mut b = ProgramBuilder::new("livelock");
+    b.while_(b.const_i(0).eq(0), |_b| {});
     let prog = b.finish();
     let mut cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, 1, 1);
     cfg.max_cycles = 50_000;
@@ -153,6 +171,7 @@ fn watchdog_fires_on_infinite_spin() {
             assert_eq!(halted_threads, 0);
             assert_eq!(total_threads, 1);
         }
+        other => panic!("expected Watchdog, got {other:?}"),
     }
 }
 
@@ -355,16 +374,11 @@ fn grouped_and_ungrouped_compute_identical_results() {
         }
         for i in 0..10i64 {
             let base = (i % 64) as u64;
-            let s: f64 = [0, 64, 128, 192, 256]
-                .iter()
-                .map(|&o| ((base + o as u64) as f64) * 0.25)
-                .sum();
+            let s: f64 =
+                [0, 64, 128, 192, 256].iter().map(|&o| ((base + o as u64) as f64) * 0.25).sum();
             acc += s * 0.2;
         }
-        assert!(
-            (got - acc).abs() < 1e-9,
-            "model {model}: got {got}, want {acc}"
-        );
+        assert!((got - acc).abs() < 1e-9, "model {model}: got {got}, want {acc}");
     }
 }
 
@@ -468,8 +482,8 @@ fn interblock_estimate_does_not_starve_spinners() {
         },
     );
     let grouped = group_shared_loads(&b.finish()).program;
-    let mut cfg = MachineConfig::new(SwitchModel::ExplicitSwitch, 1, 2)
-        .with_interblock_estimate(true);
+    let mut cfg =
+        MachineConfig::new(SwitchModel::ExplicitSwitch, 1, 2).with_interblock_estimate(true);
     cfg.max_cycles = 5_000_000;
     let fin = Machine::new(cfg, &grouped, SharedMemory::new(64)).run().expect("must not deadlock");
     assert_eq!(fin.shared.read_i64(0), 1);
@@ -490,11 +504,8 @@ fn cycle_accounting_identity_holds() {
         SwitchModel::SwitchEveryCycle,
     ] {
         let prog = load_compute_kernel(40, 4);
-        let prog = if model.uses_explicit_switch() {
-            group_shared_loads(&prog).program
-        } else {
-            prog
-        };
+        let prog =
+            if model.uses_explicit_switch() { group_shared_loads(&prog).program } else { prog };
         let r = Machine::new(MachineConfig::new(model, 2, 3), &prog, SharedMemory::new(128))
             .run()
             .unwrap()
@@ -546,8 +557,8 @@ fn priority_scheduling_prefers_critical_threads() {
         group_shared_loads(&b.finish()).program
     };
     let release_time = |prio: bool| {
-        let cfg = MachineConfig::new(SwitchModel::ConditionalSwitch, 1, 3)
-            .with_priority_scheduling(prio);
+        let cfg =
+            MachineConfig::new(SwitchModel::ConditionalSwitch, 1, 3).with_priority_scheduling(prio);
         let fin = Machine::new(cfg, &build(), SharedMemory::new(128)).run().unwrap();
         assert_eq!(fin.shared.read_i64(0), 1);
         fin.result.cycles

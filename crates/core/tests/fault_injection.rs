@@ -1,0 +1,188 @@
+//! Behavioral tests of the fault-injection layer: determinism, retry
+//! accounting, typed failures, and deadlock reporting under faults.
+
+use mtsim_asm::{Program, ProgramBuilder};
+use mtsim_core::{Machine, MachineConfig, RunResult, SimError, SwitchModel};
+use mtsim_isa::AccessHint;
+use mtsim_mem::{FaultConfig, LatencyDist, SharedMemory};
+
+/// A kernel with plenty of reply-bearing traffic: every thread sums a
+/// window of shared words and stores its sum.
+fn load_kernel(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new("faulty-loads");
+    let acc = b.def_i("acc", 0);
+    b.for_range("i", 0, iters, |b, i| {
+        let v = b.def_i("v", b.load_shared(i.get() & 63));
+        b.assign(acc, acc.get() + v.get());
+    });
+    b.store_shared(b.tid() + 100, acc.get());
+    b.finish()
+}
+
+fn faulty(seed: u64, drop: f64, delay: f64) -> FaultConfig {
+    FaultConfig { seed, drop_rate: drop, delay_rate: delay, ..FaultConfig::default() }
+}
+
+fn run_with(cfg: MachineConfig, prog: &Program, words: u64) -> RunResult {
+    Machine::new(cfg, prog, SharedMemory::new(words)).run().expect("run").result
+}
+
+#[test]
+fn identical_seed_and_rates_reproduce_bit_identically() {
+    // The fault schedule is a pure function of (seed, rates, program,
+    // config): two runs must agree on every statistic, not just cycles.
+    let prog = load_kernel(50);
+    let cfg =
+        MachineConfig::new(SwitchModel::SwitchOnLoad, 2, 3).with_faults(faulty(1234, 0.2, 0.3));
+    let a = run_with(cfg.clone(), &prog, 128);
+    let b = run_with(cfg, &prog, 128);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "runs must be bit-identical");
+    assert!(a.total_retries() + a.total_timeouts() > 0, "rates this high must fault");
+}
+
+#[test]
+fn different_seeds_draw_different_schedules() {
+    let prog = load_kernel(50);
+    let base = MachineConfig::new(SwitchModel::SwitchOnLoad, 2, 3);
+    let a = run_with(base.clone().with_faults(faulty(1, 0.3, 0.0)), &prog, 128);
+    let b = run_with(base.with_faults(faulty(2, 0.3, 0.0)), &prog, 128);
+    assert_ne!(a.cycles, b.cycles, "different seeds should produce different timing");
+}
+
+#[test]
+fn faulted_runs_still_compute_correct_results() {
+    // Faults are timing-only: the memory image must match the fault-free
+    // run exactly; only the clock (and the retry counters) move.
+    let prog = load_kernel(40);
+    let clean_cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, 2, 2);
+    let fault_cfg = clean_cfg.clone().with_faults(faulty(99, 0.25, 0.25));
+
+    let mut mem = SharedMemory::new(128);
+    for a in 0..64 {
+        mem.write_i64(a, (a * 3) as i64);
+    }
+    let clean = Machine::new(clean_cfg, &prog, mem.clone()).run().unwrap();
+    let faulted = Machine::new(fault_cfg, &prog, mem).run().unwrap();
+
+    for a in 0..128 {
+        assert_eq!(
+            clean.shared.read_i64(a),
+            faulted.shared.read_i64(a),
+            "faults must never change the computed values (word {a})"
+        );
+    }
+    assert!(faulted.result.cycles > clean.result.cycles, "retries cost time");
+    let wait: u64 = faulted.result.per_proc.iter().map(|p| p.fault_wait).sum();
+    assert!(wait > 0, "fault_wait must account the extra cycles");
+}
+
+#[test]
+fn retry_exhaustion_is_a_typed_fault() {
+    let mut b = ProgramBuilder::new("doomed");
+    let v = b.def_i("v", b.load_shared(b.const_i(3)));
+    b.store_shared(b.const_i(4), v.get());
+    let prog = b.finish();
+    let cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, 1, 1).with_faults(FaultConfig {
+        drop_rate: 1.0,
+        max_retries: 2,
+        ..FaultConfig::default()
+    });
+    let err = Machine::new(cfg, &prog, SharedMemory::new(8)).run().unwrap_err();
+    match err {
+        SimError::Fault { proc, thread, addr, attempts, .. } => {
+            assert_eq!(proc, 0);
+            assert_eq!(thread, 0);
+            assert_eq!(addr, 3);
+            assert_eq!(attempts, 3, "first send plus two retries");
+        }
+        other => panic!("expected Fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_thread_barrier_expecting_three_deadlocks_with_named_waiters() {
+    // A sense-reversing-style barrier miscounted for 3 arrivals, entered
+    // by only 2 threads: both spin on the arrival counter forever. The
+    // detector must name both threads and the word they wait on — not
+    // fall through to a generic watchdog timeout.
+    let mut b = ProgramBuilder::new("short-barrier");
+    b.fetch_add_discard(b.const_i(0), b.const_i(1), AccessHint::Data);
+    b.while_(b.load_shared_hint(b.const_i(0), AccessHint::Spin).ne(3), |_b| {});
+    b.store_shared(b.tid() + 1, 1);
+    let prog = b.finish();
+
+    let mut cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, 2, 1);
+    cfg.max_cycles = 1_000_000;
+    let err = Machine::new(cfg, &prog, SharedMemory::new(4)).run().unwrap_err();
+    match err {
+        SimError::Deadlock { cycle, halted_threads, waiters } => {
+            assert!(cycle < 1_000_000, "proven before the watchdog limit");
+            assert_eq!(halted_threads, 0);
+            let mut who: Vec<usize> = waiters.iter().map(|w| w.thread).collect();
+            who.sort_unstable();
+            assert_eq!(who, vec![0, 1], "both threads must be named");
+            for w in &waiters {
+                assert_eq!(w.addr, 0, "both wait on the arrival counter");
+                assert_eq!(w.value, 2, "the counter is stuck at 2");
+                assert_eq!(w.proc, w.thread, "one thread per processor here");
+            }
+            // The Display form carries the full cycle of waiters.
+            let msg = SimError::Deadlock { cycle, halted_threads, waiters }.to_string();
+            assert!(msg.contains("thread 0"), "{msg}");
+            assert!(msg.contains("thread 1"), "{msg}");
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadlock_is_still_detected_under_faults() {
+    // Fault-induced reply delays must not confuse the spin detector.
+    let mut b = ProgramBuilder::new("spin-faulty");
+    b.while_(b.load_shared_hint(b.const_i(0), AccessHint::Spin).eq(0), |_b| {});
+    let prog = b.finish();
+    let mut cfg =
+        MachineConfig::new(SwitchModel::SwitchOnLoad, 1, 1).with_faults(faulty(5, 0.2, 0.2));
+    cfg.max_cycles = 5_000_000;
+    let err = Machine::new(cfg, &prog, SharedMemory::new(1)).run().unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { .. }), "got {err:?}");
+}
+
+#[test]
+fn wild_shared_access_is_a_bad_program_not_a_panic() {
+    let mut b = ProgramBuilder::new("wild");
+    let v = b.def_i("v", b.load_shared(b.const_i(1_000_000)));
+    b.store_shared(b.const_i(0), v.get());
+    let prog = b.finish();
+    let err = Machine::new(
+        MachineConfig::new(SwitchModel::SwitchOnLoad, 1, 1),
+        &prog,
+        SharedMemory::new(4),
+    )
+    .run()
+    .unwrap_err();
+    match err {
+        SimError::BadProgram { thread, detail, .. } => {
+            assert_eq!(thread, 0);
+            assert!(detail.contains("1000000"), "{detail}");
+        }
+        other => panic!("expected BadProgram, got {other:?}"),
+    }
+}
+
+#[test]
+fn variable_latency_alone_uses_the_fault_path() {
+    // A non-constant distribution with zero fault rates: still
+    // deterministic, still correct, no retries.
+    let prog = load_kernel(30);
+    let cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, 2, 2).with_faults(FaultConfig {
+        seed: 11,
+        dist: LatencyDist::Uniform { lo: 50, hi: 400 },
+        ..FaultConfig::default()
+    });
+    let a = run_with(cfg.clone(), &prog, 128);
+    let b = run_with(cfg, &prog, 128);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.total_retries(), 0);
+    assert_eq!(a.total_timeouts(), 0);
+}

@@ -129,13 +129,19 @@ mod tests {
             hint: AccessHint::Data,
         };
         assert_eq!(ld.to_string(), "ld.s r8, 3(r9)");
-        let st = Inst::FStore { space: Space::Local, fs: FReg::new(2), base: Reg::new(9), offset: -1 };
+        let st =
+            Inst::FStore { space: Space::Local, fs: FReg::new(2), base: Reg::new(9), offset: -1 };
         assert_eq!(st.to_string(), "fst.l f2, -1(r9)");
     }
 
     #[test]
     fn renders_control_and_switch() {
-        let b = Inst::Branch { cond: BCond::Lt, rs: Reg::new(8), rt: Reg::new(9), target: Target::Pc(4) };
+        let b = Inst::Branch {
+            cond: BCond::Lt,
+            rs: Reg::new(8),
+            rt: Reg::new(9),
+            target: Target::Pc(4),
+        };
         assert_eq!(b.to_string(), "blt r8, r9, @4");
         assert_eq!(Inst::Switch.to_string(), "switch");
     }

@@ -229,9 +229,9 @@ impl Inst {
     /// True for shared stores (fire-and-forget writes).
     pub fn is_shared_write(&self) -> bool {
         match self {
-            Inst::Store { space, .. } | Inst::FStore { space, .. } | Inst::StorePair { space, .. } => {
-                space.is_shared()
-            }
+            Inst::Store { space, .. }
+            | Inst::FStore { space, .. }
+            | Inst::StorePair { space, .. } => space.is_shared(),
             _ => false,
         }
     }

@@ -94,15 +94,32 @@ pub(crate) enum Expr {
     Index(String, Box<Expr>, usize, usize),
     Tid(usize, usize),
     Nthreads(usize, usize),
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, line: usize, col: usize },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: usize,
+        col: usize,
+    },
     /// Unary minus.
     Neg(Box<Expr>, usize, usize),
     /// `faa(lv, e)` as an expression (yields the old value).
-    Faa { lv: LValue, amount: Box<Expr>, line: usize, col: usize },
+    Faa {
+        lv: LValue,
+        amount: Box<Expr>,
+        line: usize,
+        col: usize,
+    },
     /// `sqrt(e)`
     Sqrt(Box<Expr>, usize, usize),
     /// `min(a, b)` / `max(a, b)` (float).
-    MinMax { is_min: bool, a: Box<Expr>, b: Box<Expr>, line: usize, col: usize },
+    MinMax {
+        is_min: bool,
+        a: Box<Expr>,
+        b: Box<Expr>,
+        line: usize,
+        col: usize,
+    },
     /// `float(e)`
     ToFloat(Box<Expr>, usize, usize),
     /// `int(e)`

@@ -201,15 +201,13 @@ fn gen_stmt(cg: &mut Cg, b: &mut ProgramBuilder, stmt: &Stmt) -> Result<(), Comp
             b.while_(c, |b| res = gen_block(cg, b, body));
             res
         }
-        Stmt::BarrierWait { name, line, col } => {
-            match cg.lookup(name).cloned() {
-                Some(Sym::Bar(bar)) => {
-                    bar.emit_wait(b);
-                    Ok(())
-                }
-                _ => Err(err(*line, *col, format!("'{name}' is not a barrier"))),
+        Stmt::BarrierWait { name, line, col } => match cg.lookup(name).cloned() {
+            Some(Sym::Bar(bar)) => {
+                bar.emit_wait(b);
+                Ok(())
             }
-        }
+            _ => Err(err(*line, *col, format!("'{name}' is not a barrier"))),
+        },
         Stmt::Acquire { name, line, col } => match cg.lookup(name).cloned() {
             Some(Sym::Lock { lock, ticket_slot }) => {
                 b.scoped(|b| {
@@ -259,18 +257,15 @@ fn faa_addr(cg: &mut Cg, b: &mut ProgramBuilder, lv: &LValue) -> Result<IExpr, C
                     };
                     Ok(i + addr)
                 }
-                _ => Err(err(*line, *col, format!("faa target '{name}' must be a shared int array"))),
+                _ => {
+                    Err(err(*line, *col, format!("faa target '{name}' must be a shared int array")))
+                }
             }
         }
     }
 }
 
-fn gen_store(
-    cg: &mut Cg,
-    b: &mut ProgramBuilder,
-    lv: &LValue,
-    v: TV,
-) -> Result<(), CompileError> {
+fn gen_store(cg: &mut Cg, b: &mut ProgramBuilder, lv: &LValue, v: TV) -> Result<(), CompileError> {
     match lv {
         LValue::Name(name, line, col) => {
             let sym = cg
@@ -337,9 +332,11 @@ fn gen_store(
                     b.store_local_f(i + base, e);
                     Ok(())
                 }
-                (Sym::SharedArray { ty, .. }, got) | (Sym::LocalArray { ty, .. }, got) => Err(
-                    err(*line, *col, format!("cannot store {} into {ty} array '{name}'", got.ty())),
-                ),
+                (Sym::SharedArray { ty, .. }, got) | (Sym::LocalArray { ty, .. }, got) => Err(err(
+                    *line,
+                    *col,
+                    format!("cannot store {} into {ty} array '{name}'", got.ty()),
+                )),
                 _ => Err(err(*line, *col, format!("'{name}' is not an array"))),
             }
         }
@@ -413,12 +410,8 @@ fn gen_expr(cg: &mut Cg, b: &mut ProgramBuilder, e: &Expr) -> Result<TV, Compile
         Expr::Name(name, line, col) => match cg.lookup(name) {
             Some(Sym::VarInt(v)) => Ok(TV::I(v.get())),
             Some(Sym::VarFloat(v)) => Ok(TV::F(v.get())),
-            Some(Sym::SharedScalar { ty: Ty::Int, addr }) => {
-                Ok(TV::I(b.load_shared(*addr)))
-            }
-            Some(Sym::SharedScalar { ty: Ty::Float, addr }) => {
-                Ok(TV::F(b.load_shared_f(*addr)))
-            }
+            Some(Sym::SharedScalar { ty: Ty::Int, addr }) => Ok(TV::I(b.load_shared(*addr))),
+            Some(Sym::SharedScalar { ty: Ty::Float, addr }) => Ok(TV::F(b.load_shared_f(*addr))),
             Some(_) => Err(err(*line, *col, format!("'{name}' is not a scalar value"))),
             None => Err(err(*line, *col, format!("unknown name '{name}'"))),
         },
@@ -482,9 +475,7 @@ fn gen_expr(cg: &mut Cg, b: &mut ProgramBuilder, e: &Expr) -> Result<TV, Compile
             let av = gen_expr(cg, b, a)?;
             let bv = gen_expr(cg, b, rhs)?;
             match (av, bv) {
-                (TV::F(x), TV::F(y)) => {
-                    Ok(TV::F(if *is_min { x.min(y) } else { x.max(y) }))
-                }
+                (TV::F(x), TV::F(y)) => Ok(TV::F(if *is_min { x.min(y) } else { x.max(y) })),
                 _ => Err(err(*line, *col, "min/max take floats")),
             }
         }
@@ -539,11 +530,7 @@ fn gen_bin(op: BinOp, l: TV, r: TV, line: usize, col: usize) -> Result<TV, Compi
                 BinOp::Gt => IExpr::CmpF(CmpOp::Lt, Box::new(r), Box::new(l)),
                 BinOp::Ge => IExpr::CmpF(CmpOp::Le, Box::new(r), Box::new(l)),
                 _ => {
-                    return Err(err(
-                        line,
-                        col,
-                        format!("operator {op:?} is not defined for float"),
-                    ))
+                    return Err(err(line, col, format!("operator {op:?} is not defined for float")))
                 }
             };
             Ok(TV::I(e))

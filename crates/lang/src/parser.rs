@@ -327,7 +327,8 @@ impl<'a> Parser<'a> {
             };
             self.next();
             let rhs = self.additive()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line: t.line, col: t.col };
+            lhs =
+                Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line: t.line, col: t.col };
         }
     }
 
@@ -342,7 +343,8 @@ impl<'a> Parser<'a> {
             };
             self.next();
             let rhs = self.multiplicative()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line: t.line, col: t.col };
+            lhs =
+                Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line: t.line, col: t.col };
         }
     }
 
@@ -358,7 +360,8 @@ impl<'a> Parser<'a> {
             };
             self.next();
             let rhs = self.unary()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line: t.line, col: t.col };
+            lhs =
+                Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line: t.line, col: t.col };
         }
     }
 

@@ -192,10 +192,7 @@ fn type_errors_are_caught() {
     ];
     for (src, needle) in cases {
         let e = compile("bad", src, 2).unwrap_err();
-        assert!(
-            e.message.contains(needle),
-            "source: {src}\nexpected '{needle}' in: {e}"
-        );
+        assert!(e.message.contains(needle), "source: {src}\nexpected '{needle}' in: {e}");
     }
 }
 
@@ -228,7 +225,6 @@ fn constant_indices_are_bounds_checked() {
     assert!(e.message.contains("out of bounds"), "{e}");
     let e = compile("oob", "shared int a[4]; fn main() { int x = a[9]; }", 1).unwrap_err();
     assert!(e.message.contains("out of bounds"), "{e}");
-    let e =
-        compile("oob", "fn main() { local int s[2]; s[2] = 0; }", 1).unwrap_err();
+    let e = compile("oob", "fn main() { local int s[2]; s[2] = 0; }", 1).unwrap_err();
     assert!(e.message.contains("out of bounds"), "{e}");
 }

@@ -181,7 +181,9 @@ impl CoherentCaches {
     /// messages sent.
     pub fn store(&mut self, proc: usize, addr: u64) -> u64 {
         let line = self.line_of(addr);
-        let Some(mask) = self.sharers.get_mut(&line) else { return 0 };
+        let Some(mask) = self.sharers.get_mut(&line) else {
+            return 0;
+        };
         let others = *mask & !(1u128 << proc);
         let count = others.count_ones() as u64;
         if count > 0 {

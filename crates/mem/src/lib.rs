@@ -19,18 +19,25 @@
 //!   models: direct-mapped, write-through, no-write-allocate, kept coherent
 //!   by a full-map directory that invalidates remote copies on stores;
 //! * [`OneLineCache`] — the paper's §5.2 experiment: a single 32-word line
-//!   per *thread* used to estimate inter-block grouping potential.
+//!   per *thread* used to estimate inter-block grouping potential;
+//! * [`FaultPlan`] — deterministic, seeded fault injection: per-request
+//!   latency distributions, dropped/NACKed replies, duplicates, and the
+//!   retry protocol's parameters (see the [`fault`](self::fault) module
+//!   docs). The paper's reliable constant-latency network is the inactive
+//!   default.
 //!
 //! Caches here are *timing and traffic* models: data values always come
 //! from [`SharedMemory`], which is kept coherent by construction because
 //! the engine applies every shared operation in global time order.
 
 mod cache;
+mod fault;
 mod shared;
-mod traffic;
 mod trace;
+mod traffic;
 
 pub use cache::{CacheParams, CacheStats, CoherentCaches, OneLineCache};
+pub use fault::{FaultConfig, FaultPlan, LatencyDist, ReplyOutcome, RetryExhausted};
 pub use shared::SharedMemory;
 pub use trace::{TraceEvent, TraceKind};
 pub use traffic::{MsgClass, Traffic, ADDR_BITS, HDR_BITS, WORD_BITS};

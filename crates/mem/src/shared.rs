@@ -42,6 +42,31 @@ impl SharedMemory {
         self.words[addr as usize]
     }
 
+    /// Reads the word at `addr`, or `None` when the access is out of
+    /// range. The engine uses the checked accessors so a wild access in a
+    /// simulated program surfaces as a typed error instead of a panic.
+    #[inline]
+    pub fn try_read(&self, addr: u64) -> Option<u64> {
+        self.words.get(addr as usize).copied()
+    }
+
+    /// Writes the word at `addr`, or returns `None` when out of range.
+    #[inline]
+    pub fn try_write(&mut self, addr: u64, value: u64) -> Option<()> {
+        *self.words.get_mut(addr as usize)? = value;
+        Some(())
+    }
+
+    /// Atomic fetch-and-add returning the old value, or `None` when out of
+    /// range.
+    #[inline]
+    pub fn try_fetch_add(&mut self, addr: u64, inc: i64) -> Option<u64> {
+        let slot = self.words.get_mut(addr as usize)?;
+        let old = *slot;
+        *slot = old.wrapping_add(inc as u64);
+        Some(old)
+    }
+
     /// Writes the word at `addr`.
     ///
     /// # Panics
@@ -124,5 +149,17 @@ mod tests {
     fn out_of_range_panics() {
         let m = SharedMemory::new(1);
         let _ = m.read(1);
+    }
+
+    #[test]
+    fn checked_accessors_reject_oob_without_panicking() {
+        let mut m = SharedMemory::new(2);
+        assert_eq!(m.try_read(1), Some(0));
+        assert_eq!(m.try_read(2), None);
+        assert_eq!(m.try_write(1, 7), Some(()));
+        assert_eq!(m.try_write(2, 7), None);
+        assert_eq!(m.try_fetch_add(1, 3), Some(7));
+        assert_eq!(m.try_fetch_add(9, 3), None);
+        assert_eq!(m.read(1), 10);
     }
 }

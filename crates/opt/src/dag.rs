@@ -70,11 +70,8 @@ impl Dag {
     /// Builds the DAG for `insts` (one basic block, no terminator).
     pub(crate) fn build(insts: &[Inst]) -> Dag {
         let n = insts.len();
-        let mut dag = Dag {
-            succs: vec![Vec::new(); n],
-            preds: vec![0; n],
-            completion_preds: vec![0; n],
-        };
+        let mut dag =
+            Dag { succs: vec![Vec::new(); n], preds: vec![0; n], completion_preds: vec![0; n] };
 
         // Register bookkeeping. Index space: 0..32 int, 32..64 fp.
         const NREGS: usize = 64;

@@ -59,11 +59,7 @@ pub struct GroupingResult {
 /// Panics if `prog` already contains `Switch` instructions (the pass
 /// expects compiler-natural input and is not idempotent).
 pub fn group_shared_loads(prog: &Program) -> GroupingResult {
-    assert_eq!(
-        prog.switch_count(),
-        0,
-        "grouping pass expects a switch-free input program"
-    );
+    assert_eq!(prog.switch_count(), 0, "grouping pass expects a switch-free input program");
 
     let blocks = basic_blocks(prog);
     let mut out: Vec<Inst> = Vec::with_capacity(prog.len() + prog.len() / 4);
@@ -116,12 +112,10 @@ fn schedule_block(insts: &[Inst], out: &mut Vec<Inst>, stats: &mut GroupStats) {
     let mut pending: Vec<usize> = Vec::new();
     let mut emitted_count = 0usize;
 
-    let candidate = |i: usize,
-                     emitted: &[bool],
-                     unemitted_preds: &[usize],
-                     uncompleted_needs: &[usize]| {
-        !emitted[i] && unemitted_preds[i] == 0 && uncompleted_needs[i] == 0
-    };
+    let candidate =
+        |i: usize, emitted: &[bool], unemitted_preds: &[usize], uncompleted_needs: &[usize]| {
+            !emitted[i] && unemitted_preds[i] == 0 && uncompleted_needs[i] == 0
+        };
 
     while emitted_count < n {
         // 1. Issue every ready blocking read (opens / extends the group).
@@ -271,13 +265,7 @@ mod tests {
         // The second load must stay after the first store.
         let insts = g.program.insts();
         let store1 = insts.iter().position(|i| i.is_shared_write()).unwrap();
-        let load2 = insts
-            .iter()
-            .enumerate()
-            .filter(|(_, i)| i.is_shared_read())
-            .nth(1)
-            .unwrap()
-            .0;
+        let load2 = insts.iter().enumerate().filter(|(_, i)| i.is_shared_read()).nth(1).unwrap().0;
         assert!(load2 > store1, "{}", g.program.listing());
         assert_eq!(g.stats.switches_inserted, 2);
     }
@@ -341,10 +329,7 @@ mod tests {
         // The increment of x must come after the switch.
         let insts = g.program.insts();
         let sw = insts.iter().position(|i| matches!(i, Inst::Switch)).unwrap();
-        let inc = insts
-            .iter()
-            .position(|i| matches!(i, Inst::AluI { imm: 1, .. }))
-            .unwrap();
+        let inc = insts.iter().position(|i| matches!(i, Inst::AluI { imm: 1, .. })).unwrap();
         assert!(inc > sw);
     }
 

@@ -1,0 +1,264 @@
+//! # mtsim-rng
+//!
+//! A small, dependency-free, deterministic pseudo-random number generator
+//! shared by workload generation (`mtsim-apps`) and the fault-injection
+//! subsystem (`mtsim-mem`).
+//!
+//! Everything in the simulator that consumes randomness must be exactly
+//! reproducible from a `u64` seed across platforms and releases, so this
+//! crate pins a specific algorithm — xoshiro256++ seeded through
+//! SplitMix64 — instead of depending on an external crate whose stream
+//! could change under us.
+//!
+//! ```
+//! use mtsim_rng::Rng;
+//!
+//! let mut a = Rng::seed_from_u64(42);
+//! let mut b = Rng::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+/// SplitMix64 step: used for seeding and for stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256++ generator (Blackman & Vigna). 256 bits of state, period
+/// 2²⁵⁶−1, passes BigCrush; more than enough for workload synthesis and
+/// fault schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion, the
+    /// standard recommended seeding procedure).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Rng { s }
+    }
+
+    /// Derives an independent stream for a named purpose: the same seed
+    /// with different labels yields statistically independent generators,
+    /// so e.g. drop decisions and latency draws cannot alias.
+    pub fn derive(seed: u64, label: &str) -> Rng {
+        let mut h = seed ^ 0xA076_1D64_78BD_642F;
+        for byte in label.bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        Rng::seed_from_u64(h)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is empty");
+        // Debiased multiply-shift (Lemire). The rejection loop terminates
+        // with overwhelming probability on the first draw.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// Uniform integer in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not finite.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && (hi - lo).is_finite(), "bad range {lo}..{hi}");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A draw from the geometric distribution on `{0, 1, 2, …}` with
+    /// success probability `p` (mean `(1-p)/p`), by inversion. `p` is
+    /// clamped into `(0, 1]`; results are capped at `cap` so one draw can
+    /// never run away.
+    pub fn geometric(&mut self, p: f64, cap: u64) -> u64 {
+        let p = p.clamp(1e-9, 1.0);
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        let k = (u.ln() / (1.0 - p).ln()).floor();
+        if k.is_finite() && k >= 0.0 {
+            (k as u64).min(cap)
+        } else {
+            cap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn derived_streams_are_independent() {
+        let mut a = Rng::derive(5, "drop");
+        let mut b = Rng::derive(5, "latency");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.range_i64(-5, 5);
+            assert!((-5..5).contains(&v));
+            let f = r.range_f64(2.0, 6.0);
+            assert!((2.0..6.0).contains(&f));
+            let u = r.range_u64(10, 20);
+            assert!((10..20).contains(&u));
+        }
+    }
+
+    #[test]
+    fn next_f64_is_unit_interval() {
+        let mut r = Rng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::seed_from_u64(13);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.1)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(17);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements virtually never fixed");
+    }
+
+    #[test]
+    fn geometric_mean_is_plausible() {
+        let mut r = Rng::seed_from_u64(19);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| r.geometric(0.25, 1_000)).sum();
+        let mean = sum as f64 / n as f64; // expected (1-p)/p = 3.0
+        assert!((2.7..3.3).contains(&mean), "mean {mean}");
+        assert_eq!(r.geometric(1.0, 10), 0);
+        assert!(r.geometric(0.5, 4) <= 4);
+    }
+}

@@ -68,8 +68,7 @@ impl Barrier {
     pub fn emit_wait(&self, b: &mut ProgramBuilder) {
         // my_gen must be read before announcing arrival.
         let my_gen = b.def_i("_bar_gen", b.load_shared(b.const_i(self.gen_addr)));
-        let arrived =
-            b.def_i("_bar_n", b.fetch_add(b.const_i(self.count_addr), 1));
+        let arrived = b.def_i("_bar_n", b.fetch_add(b.const_i(self.count_addr), 1));
         b.if_else(
             arrived.get().eq(self.participants - 1),
             |b| {
@@ -79,8 +78,7 @@ impl Barrier {
             },
             |b| {
                 b.while_(
-                    b.load_shared_hint(b.const_i(self.gen_addr), AccessHint::Spin)
-                        .eq(my_gen.get()),
+                    b.load_shared_hint(b.const_i(self.gen_addr), AccessHint::Spin).eq(my_gen.get()),
                     |_b| {},
                 );
             },
@@ -113,8 +111,7 @@ impl TicketLock {
     pub fn emit_acquire(&self, b: &mut ProgramBuilder) -> IVar {
         let ticket = b.def_i("_ticket", b.fetch_add(b.const_i(self.next_addr), 1));
         b.while_(
-            b.load_shared_hint(b.const_i(self.serving_addr), AccessHint::Spin)
-                .ne(ticket.get()),
+            b.load_shared_hint(b.const_i(self.serving_addr), AccessHint::Spin).ne(ticket.get()),
             |_b| {},
         );
         b.set_priority(1);
@@ -139,11 +136,7 @@ impl TicketLock {
     }
 
     /// Emits `body` inside an acquire/release pair.
-    pub fn emit_critical(
-        &self,
-        b: &mut ProgramBuilder,
-        body: impl FnOnce(&mut ProgramBuilder),
-    ) {
+    pub fn emit_critical(&self, b: &mut ProgramBuilder, body: impl FnOnce(&mut ProgramBuilder)) {
         let ticket = self.emit_acquire(b);
         body(b);
         self.emit_release(b, ticket);

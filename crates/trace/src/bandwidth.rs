@@ -53,9 +53,7 @@ impl BandwidthProfile {
 
     /// Per-window bits/cycle/processor series.
     pub fn series(&self) -> impl Iterator<Item = f64> + '_ {
-        self.bits
-            .iter()
-            .map(move |&b| b as f64 / self.window as f64 / self.processors as f64)
+        self.bits.iter().map(move |&b| b as f64 / self.window as f64 / self.processors as f64)
     }
 
     /// Mean demand over the whole run.

@@ -74,8 +74,7 @@ pub fn load_trace(text: &str) -> Result<Vec<TraceEvent>, TraceFormatError> {
         if fields.len() < 5 || fields.len() > 6 {
             return Err(err(format!("expected 5-6 fields, found {}", fields.len())));
         }
-        let parse_u64 =
-            |f: &str| f.parse::<u64>().map_err(|_| err(format!("bad number '{f}'")));
+        let parse_u64 = |f: &str| f.parse::<u64>().map_err(|_| err(format!("bad number '{f}'")));
         let time = parse_u64(fields[0])?;
         let proc = parse_u64(fields[1])? as u32;
         let thread = parse_u64(fields[2])? as u32;
@@ -98,9 +97,30 @@ mod tests {
     #[test]
     fn roundtrip_all_kinds() {
         let events = vec![
-            TraceEvent { time: 0, proc: 1, thread: 3, kind: TraceKind::Read, addr: 42, spin: false },
-            TraceEvent { time: 7, proc: 0, thread: 0, kind: TraceKind::WritePair, addr: 8, spin: false },
-            TraceEvent { time: 9, proc: 2, thread: 5, kind: TraceKind::FetchAdd, addr: 0, spin: true },
+            TraceEvent {
+                time: 0,
+                proc: 1,
+                thread: 3,
+                kind: TraceKind::Read,
+                addr: 42,
+                spin: false,
+            },
+            TraceEvent {
+                time: 7,
+                proc: 0,
+                thread: 0,
+                kind: TraceKind::WritePair,
+                addr: 8,
+                spin: false,
+            },
+            TraceEvent {
+                time: 9,
+                proc: 2,
+                thread: 5,
+                kind: TraceKind::FetchAdd,
+                addr: 0,
+                spin: true,
+            },
         ];
         let text = save_trace(&events);
         assert_eq!(load_trace(&text).unwrap(), events);

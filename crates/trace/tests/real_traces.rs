@@ -3,7 +3,9 @@
 use mtsim_apps::{build_app, AppKind, Scale};
 use mtsim_core::{Machine, MachineConfig, SwitchModel};
 use mtsim_mem::CacheParams;
-use mtsim_trace::{load_trace, reuse_profile, save_trace, stride_histogram, BandwidthProfile, CacheSweep};
+use mtsim_trace::{
+    load_trace, reuse_profile, save_trace, stride_histogram, BandwidthProfile, CacheSweep,
+};
 
 fn traced_run(kind: AppKind) -> (Vec<mtsim_mem::TraceEvent>, u64, usize) {
     let procs = 2;
@@ -69,12 +71,7 @@ fn cache_sweep_matches_engine_hit_rate_regime() {
         .cache
         .unwrap();
     let delta = (pt.stats.hit_rate() - engine.hit_rate()).abs();
-    assert!(
-        delta < 0.15,
-        "replay {:.2} vs engine {:.2}",
-        pt.stats.hit_rate(),
-        engine.hit_rate()
-    );
+    assert!(delta < 0.15, "replay {:.2} vs engine {:.2}", pt.stats.hit_rate(), engine.hit_rate());
 }
 
 #[test]

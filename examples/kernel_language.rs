@@ -44,11 +44,7 @@ const SRC: &str = r#"
 fn main() {
     let (procs, threads) = (2, 6);
     let unit = compile("jacobi", SRC, procs * threads).expect("compile");
-    println!(
-        "compiled: {} instructions, {} shared words",
-        unit.program.len(),
-        unit.shared_words()
-    );
+    println!("compiled: {} instructions, {} shared words", unit.program.len(), unit.shared_words());
 
     let grouped = group_shared_loads(&unit.program);
     println!(
@@ -63,9 +59,8 @@ fn main() {
         (SwitchModel::ExplicitSwitch, &grouped.program),
     ] {
         let cfg = MachineConfig::new(model, procs, threads);
-        let fin = Machine::new(cfg, program, SharedMemory::new(unit.shared_words()))
-            .run()
-            .expect("run");
+        let fin =
+            Machine::new(cfg, program, SharedMemory::new(unit.shared_words())).run().expect("run");
         println!(
             "{model:<18} {:>7} cycles, utilization {:>3.0}%",
             fin.result.cycles,

@@ -10,8 +10,8 @@ pub use mtsim_apps as apps;
 pub use mtsim_asm as asm;
 pub use mtsim_core as core;
 pub use mtsim_isa as isa;
+pub use mtsim_lang as lang;
 pub use mtsim_mem as mem;
 pub use mtsim_opt as opt;
 pub use mtsim_rt as rt;
-pub use mtsim_lang as lang;
 pub use mtsim_trace as trace;

@@ -10,14 +10,13 @@ fn all_applications_roundtrip_through_text() {
     for kind in AppKind::ALL {
         let app = build_app(kind, Scale::Tiny, 4);
         let text = app.program.listing();
-        let back = parse_program(app.program.name(), &text)
-            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let back =
+            parse_program(app.program.name(), &text).unwrap_or_else(|e| panic!("{kind}: {e}"));
         assert_eq!(back.insts(), app.program.insts(), "{kind} (original)");
 
         let (grouped, _) = app.grouped();
         let text = grouped.listing();
-        let back =
-            parse_program(grouped.name(), &text).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let back = parse_program(grouped.name(), &text).unwrap_or_else(|e| panic!("{kind}: {e}"));
         assert_eq!(back.insts(), grouped.insts(), "{kind} (grouped)");
     }
 }

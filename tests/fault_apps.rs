@@ -1,0 +1,45 @@
+//! Every bundled application must survive a seeded unreliable network:
+//! either it completes with host-verified results (absorbing the faults
+//! through the retry protocol), or it fails with a typed error — never a
+//! panic, never a hang past the watchdog.
+
+use mtsim::apps::{build_app, run_app, AppKind, Scale};
+use mtsim::core::{MachineConfig, SwitchModel};
+use mtsim::mem::FaultConfig;
+
+fn faulty_cfg(seed: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, 2, 2).with_faults(FaultConfig {
+        seed,
+        drop_rate: 0.02,
+        delay_rate: 0.05,
+        dup_rate: 0.02,
+        ..FaultConfig::default()
+    });
+    cfg.max_cycles = 2_000_000_000;
+    cfg
+}
+
+#[test]
+fn all_apps_survive_an_unreliable_network() {
+    let mut total_recoveries = 0;
+    for kind in AppKind::ALL {
+        let app = build_app(kind, Scale::Tiny, 4);
+        let r = run_app(&app, faulty_cfg(20260807))
+            .unwrap_or_else(|e| panic!("{} under faults: {e}", kind.name()));
+        total_recoveries += r.total_retries() + r.total_timeouts();
+    }
+    assert!(
+        total_recoveries > 0,
+        "a 2% drop rate across seven apps must exercise the retry protocol"
+    );
+}
+
+#[test]
+fn faulted_app_runs_reproduce_bit_identically() {
+    let app = build_app(AppKind::Sor, Scale::Tiny, 4);
+    let a = run_app(&app, faulty_cfg(7)).expect("run a");
+    let b = run_app(&app, faulty_cfg(7)).expect("run b");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same run");
+    let c = run_app(&app, faulty_cfg(8)).expect("run c");
+    assert_ne!(a.cycles, c.cycles, "different seed, different timing");
+}

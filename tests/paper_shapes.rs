@@ -22,11 +22,7 @@ fn grouping_eliminates_half_to_most_switches() {
         let sol = run_app(&app, cfgm(SwitchModel::SwitchOnLoad, 2, 2)).unwrap();
         let exp = run_app(&app, cfgm(SwitchModel::ExplicitSwitch, 2, 2)).unwrap();
         let ratio = exp.switches_taken as f64 / sol.switches_taken as f64;
-        assert!(
-            ratio < 0.65,
-            "{kind}: explicit-switch kept {:.0}% of switches",
-            ratio * 100.0
-        );
+        assert!(ratio < 0.65, "{kind}: explicit-switch kept {:.0}% of switches", ratio * 100.0);
     }
 }
 
@@ -105,9 +101,7 @@ fn mp3d_is_the_bandwidth_outlier() {
 #[test]
 fn caching_cuts_bandwidth_for_friendly_apps() {
     // sor's write-through stores (one per five loads) bound its savings.
-    for (kind, factor) in
-        [(AppKind::Sor, 0.75), (AppKind::Ugray, 0.5), (AppKind::Water, 0.5)]
-    {
+    for (kind, factor) in [(AppKind::Sor, 0.75), (AppKind::Ugray, 0.5), (AppKind::Water, 0.5)] {
         let app = build_app(kind, Scale::Small, 8);
         let un = run_app(&app, cfgm(SwitchModel::ExplicitSwitch, 4, 2)).unwrap();
         let ca = run_app(&app, cfgm(SwitchModel::ConditionalSwitch, 4, 2)).unwrap();
@@ -157,11 +151,7 @@ fn reorganization_penalty_is_a_few_percent() {
         let (grouped, _) = app.grouped();
         let re = mtsim::apps::run_app_with_program(&app, &grouped, c).unwrap();
         let penalty = re.cycles as f64 / orig.cycles as f64 - 1.0;
-        assert!(
-            (-0.005..0.12).contains(&penalty),
-            "{kind}: penalty {:.1}%",
-            penalty * 100.0
-        );
+        assert!((-0.005..0.12).contains(&penalty), "{kind}: penalty {:.1}%", penalty * 100.0);
     }
 }
 

@@ -1,14 +1,18 @@
-//! Property-based tests: the builder + engine evaluate expressions exactly
-//! like a host-side reference interpreter, and the grouping pass preserves
-//! program semantics on arbitrary generated programs.
+//! Randomized semantics tests: the builder + engine evaluate expressions
+//! exactly like a host-side reference interpreter, and the grouping pass
+//! preserves program semantics on arbitrary generated programs.
+//!
+//! Cases are generated from a fixed-seed [`mtsim_rng::Rng`], so every run
+//! explores the identical corpus — failures reproduce by construction.
 
 use mtsim::asm::{IExpr, Program, ProgramBuilder};
 use mtsim::core::{Machine, MachineConfig, SwitchModel};
 use mtsim::mem::SharedMemory;
 use mtsim::opt::group_shared_loads;
-use proptest::prelude::*;
+use mtsim_rng::Rng;
 
 const MEM_WORDS: u64 = 64;
+const CASES: usize = 128;
 
 /// Host model of the machine's integer semantics.
 fn host_alu(op: u8, a: i64, b: i64) -> i64 {
@@ -68,15 +72,25 @@ impl HExpr {
     }
 }
 
-fn hexpr_strategy() -> impl Strategy<Value = HExpr> {
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(HExpr::Const),
-        (0u64..MEM_WORDS).prop_map(HExpr::Load),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        (0u8..7, inner.clone(), inner)
-            .prop_map(|(op, l, r)| HExpr::Bin(op, Box::new(l), Box::new(r)))
-    })
+/// Random expression tree of bounded depth, mirroring the old proptest
+/// `prop_recursive(4, 24, 3, …)` strategy.
+fn gen_expr(rng: &mut Rng, depth: u32) -> HExpr {
+    if depth == 0 || rng.chance(0.3) {
+        if rng.chance(0.5) {
+            HExpr::Const(rng.range_i64(-1000, 1000))
+        } else {
+            HExpr::Load(rng.range_u64(0, MEM_WORDS))
+        }
+    } else {
+        let op = rng.range_i64(0, 7) as u8;
+        let l = gen_expr(rng, depth - 1);
+        let r = gen_expr(rng, depth - 1);
+        HExpr::Bin(op, Box::new(l), Box::new(r))
+    }
+}
+
+fn gen_init(rng: &mut Rng, lo: i64, hi: i64) -> Vec<i64> {
+    (0..MEM_WORDS).map(|_| rng.range_i64(lo, hi)).collect()
 }
 
 fn run_single(program: &Program, init: &[i64], model: SwitchModel) -> SharedMemory {
@@ -89,16 +103,14 @@ fn run_single(program: &Program, init: &[i64], model: SwitchModel) -> SharedMemo
     Machine::new(cfg, program, mem).run().expect("run").shared
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Arbitrary expression trees compile and evaluate to exactly the
-    /// host-reference value, under both a plain and a split-phase model.
-    #[test]
-    fn expressions_match_host_reference(
-        expr in hexpr_strategy(),
-        init in proptest::collection::vec(-1000i64..1000, MEM_WORDS as usize),
-    ) {
+/// Arbitrary expression trees compile and evaluate to exactly the
+/// host-reference value, under both a plain and a split-phase model.
+#[test]
+fn expressions_match_host_reference() {
+    let mut rng = Rng::seed_from_u64(0xE5EE_D001);
+    for case in 0..CASES {
+        let expr = gen_expr(&mut rng, 4);
+        let init = gen_init(&mut rng, -1000, 1000);
         let want = expr.eval(&init);
         let mut b = ProgramBuilder::new("prop");
         let e = expr.to_iexpr(&b);
@@ -108,19 +120,29 @@ proptest! {
 
         for model in [SwitchModel::SwitchOnLoad, SwitchModel::SwitchOnUse] {
             let out = run_single(&prog, &init, model);
-            prop_assert_eq!(out.read_i64(MEM_WORDS), want, "model {}", model);
+            assert_eq!(out.read_i64(MEM_WORDS), want, "case {case}, model {model}");
         }
     }
+}
 
-    /// The grouping pass preserves semantics: the full final memory image
-    /// of the grouped program equals the original's, for arbitrary
-    /// sequences of loads, stores, fetch-adds and expression statements.
-    #[test]
-    fn grouping_pass_preserves_memory_image(
-        stmts in proptest::collection::vec(
-            (0u8..3, 0u64..MEM_WORDS, hexpr_strategy()), 1..12),
-        init in proptest::collection::vec(-100i64..100, MEM_WORDS as usize),
-    ) {
+/// The grouping pass preserves semantics: the full final memory image
+/// of the grouped program equals the original's, for arbitrary
+/// sequences of loads, stores, fetch-adds and expression statements.
+#[test]
+fn grouping_pass_preserves_memory_image() {
+    let mut rng = Rng::seed_from_u64(0xE5EE_D002);
+    for case in 0..CASES {
+        let n_stmts = rng.range_u64(1, 12) as usize;
+        let stmts: Vec<(u8, u64, HExpr)> = (0..n_stmts)
+            .map(|_| {
+                let kind = rng.range_i64(0, 3) as u8;
+                let addr = rng.range_u64(0, MEM_WORDS);
+                let expr = gen_expr(&mut rng, 4);
+                (kind, addr, expr)
+            })
+            .collect();
+        let init = gen_init(&mut rng, -100, 100);
+
         let mut b = ProgramBuilder::new("prop-group");
         for (kind, addr, expr) in &stmts {
             let e = expr.to_iexpr(&b);
@@ -149,18 +171,20 @@ proptest! {
         let a = run_single(&prog, &init, SwitchModel::SwitchOnLoad);
         let g = run_single(&grouped, &init, SwitchModel::ExplicitSwitch);
         for addr in 0..MEM_WORDS + 8 {
-            prop_assert_eq!(a.read_i64(addr), g.read_i64(addr), "word {}", addr);
+            assert_eq!(a.read_i64(addr), g.read_i64(addr), "case {case}, word {addr}");
         }
     }
+}
 
-    /// Multithreaded fetch-and-add accumulation is exact for any thread
-    /// geometry.
-    #[test]
-    fn fetch_add_sums_for_any_geometry(
-        procs in 1usize..6,
-        threads in 1usize..5,
-        reps in 1i64..8,
-    ) {
+/// Multithreaded fetch-and-add accumulation is exact for any thread
+/// geometry.
+#[test]
+fn fetch_add_sums_for_any_geometry() {
+    let mut rng = Rng::seed_from_u64(0xE5EE_D003);
+    for _ in 0..CASES {
+        let procs = rng.range_u64(1, 6) as usize;
+        let threads = rng.range_u64(1, 5) as usize;
+        let reps = rng.range_i64(1, 8);
         let mut b = ProgramBuilder::new("prop-faa");
         b.for_range("i", 0, reps, |b, _| {
             b.fetch_add_discard(b.const_i(0), b.tid() + 1, mtsim::isa::AccessHint::Data);
@@ -170,6 +194,6 @@ proptest! {
         cfg.max_cycles = 50_000_000;
         let fin = Machine::new(cfg, &prog, SharedMemory::new(1)).run().expect("run");
         let n = (procs * threads) as i64;
-        prop_assert_eq!(fin.shared.read_i64(0), reps * n * (n + 1) / 2);
+        assert_eq!(fin.shared.read_i64(0), reps * n * (n + 1) / 2);
     }
 }
