@@ -211,3 +211,17 @@ pub fn baseline_cycles(build: &dyn Fn(usize) -> BuiltApp) -> u64 {
     let cfg = MachineConfig::ideal(1);
     run_app(&app, cfg).expect("baseline run").cycles
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_app_is_send_and_sync() {
+        // The sweep artifact cache hands `Arc<BuiltApp>` to worker threads;
+        // the verify closure is explicitly `Send + Sync` and every other
+        // field is plain data. Keep it that way.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BuiltApp>();
+    }
+}

@@ -91,6 +91,11 @@ impl AppKind {
             AppKind::Mp3d => "simulates rarefied hypersonic flow",
         }
     }
+
+    /// Parses a display name back to the kind (`"sieve"`, `"mp3d"`, …).
+    pub fn from_name(name: &str) -> Option<AppKind> {
+        AppKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 impl std::fmt::Display for AppKind {
@@ -102,7 +107,7 @@ impl std::fmt::Display for AppKind {
 /// Experiment scale presets: `Tiny` for unit tests, `Small` for the bench
 /// harness (seconds per run), `Full` for the default workloads of
 /// DESIGN.md §6 (minutes per table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Unit-test sizes (sub-second under the debug profile).
     Tiny,
@@ -110,6 +115,33 @@ pub enum Scale {
     Small,
     /// The scaled-paper workloads of DESIGN.md.
     Full,
+}
+
+impl Scale {
+    /// Display name, usable as a CLI/spec-file value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parses a display name back to the scale.
+    pub fn from_name(name: &str) -> Option<Scale> {
+        match name {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Builds an application at a preset scale for `nthreads` threads.

@@ -155,6 +155,14 @@ mod tests {
     }
 
     #[test]
+    fn program_is_send_and_sync() {
+        // The sweep engine shares one built `Program` across worker threads
+        // behind an `Arc`; this must not regress to interior mutability.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Program>();
+    }
+
+    #[test]
     fn from_raw_parts_validates_targets() {
         let p =
             Program::from_raw_parts("t", vec![Inst::Jump { target: Target::Pc(1) }, Inst::Halt]);

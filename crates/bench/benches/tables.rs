@@ -38,14 +38,14 @@ fn main() {
         black_box(experiments::fig4());
     });
     bench("table3", || {
-        black_box(experiments::mt_table(Scale::Tiny, SwitchModel::SwitchOnLoad));
+        black_box(experiments::mt_table(Scale::Tiny, SwitchModel::SwitchOnLoad, Some(1)));
     });
     bench("table4", || {
         black_box(experiments::run_length_table(Scale::Tiny, SwitchModel::ExplicitSwitch));
     });
     bench("table5", || {
         black_box((
-            experiments::mt_table(Scale::Tiny, SwitchModel::ExplicitSwitch),
+            experiments::mt_table(Scale::Tiny, SwitchModel::ExplicitSwitch, Some(1)),
             experiments::reorganization_penalty(Scale::Tiny),
         ));
     });
@@ -56,7 +56,7 @@ fn main() {
         black_box(experiments::table7(Scale::Tiny));
     });
     bench("table8", || {
-        black_box(experiments::mt_table(Scale::Tiny, SwitchModel::ConditionalSwitch));
+        black_box(experiments::mt_table(Scale::Tiny, SwitchModel::ConditionalSwitch, Some(1)));
     });
     bench("ablation", || {
         black_box(experiments::max_run_ablation(Scale::Tiny, &[Some(200), Some(400)]));

@@ -1,12 +1,12 @@
 //! The title claim: how efficiency degrades as the memory round trip grows
 //! from 50 to 800 cycles, per model, at a fixed multithreading level.
 //!
-//! Usage: `cargo run --release -p mtsim-bench --bin latency [--scale tiny|small|full]`
+//! Usage: `cargo run --release -p mtsim-bench --bin latency [--scale tiny|small|full] [--jobs N]`
 
 use mtsim_apps::AppKind;
 use mtsim_bench::experiments::{latency_sweep, LATENCY_MODELS};
 use mtsim_bench::report::{pct, TextTable};
-use mtsim_bench::scale_from_args;
+use mtsim_bench::{jobs_from_args, scale_from_args};
 
 fn main() {
     let scale = scale_from_args();
@@ -15,7 +15,9 @@ fn main() {
     let mut table = TextTable::new(
         std::iter::once("latency".to_string()).chain(LATENCY_MODELS.iter().map(|m| m.to_string())),
     );
-    for row in latency_sweep(AppKind::Ugray, scale, procs, t, &[50, 100, 200, 400, 800]) {
+    let rows =
+        latency_sweep(AppKind::Ugray, scale, procs, t, &[50, 100, 200, 400, 800], jobs_from_args());
+    for row in rows {
         table.row(
             std::iter::once(row.latency.to_string()).chain(row.efficiency.iter().map(|&e| pct(e))),
         );

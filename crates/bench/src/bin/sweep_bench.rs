@@ -1,0 +1,61 @@
+//! Sweep-engine throughput benchmark: runs a fixed grid serially
+//! (`--jobs 1`) and in parallel (machine default), checks the result
+//! tables are byte-identical, and writes the speedup to
+//! `BENCH_sweep.json` so future changes get a perf trajectory.
+//!
+//! Usage: `cargo run --release -p mtsim-bench --bin sweep_bench [--scale tiny|small|full] [--jobs N]`
+
+use mtsim_apps::AppKind;
+use mtsim_bench::{jobs_from_args, scale_from_args};
+use mtsim_core::SwitchModel;
+use mtsim_sweep::json::JsonBuilder;
+use mtsim_sweep::{default_workers, run_sweep, SweepOpts, SweepSpec};
+
+fn main() {
+    let scale = scale_from_args();
+    let spec = SweepSpec {
+        apps: vec![AppKind::Sieve, AppKind::Sor, AppKind::Water, AppKind::Ugray],
+        models: vec![SwitchModel::SwitchOnLoad, SwitchModel::ExplicitSwitch],
+        procs: vec![2],
+        threads: vec![1, 2, 4],
+        scale,
+        ..SweepSpec::default()
+    };
+    let workers = jobs_from_args().unwrap_or_else(default_workers);
+    println!("sweep_bench: {} grid points (scale {scale:?}), 1 vs {workers} worker(s)", spec.len());
+
+    let serial = run_sweep(&spec, &SweepOpts { workers: Some(1), progress: false }).expect("spec");
+    let parallel =
+        run_sweep(&spec, &SweepOpts { workers: Some(workers), progress: false }).expect("spec");
+    assert_eq!(
+        serial.results_json(),
+        parallel.results_json(),
+        "parallel sweep diverged from the serial result table"
+    );
+
+    let serial_s = serial.wall.as_secs_f64();
+    let parallel_s = parallel.wall.as_secs_f64();
+    let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 0.0 };
+    println!("  serial:   {}", serial.summary_line());
+    println!("  parallel: {}", parallel.summary_line());
+    println!("  speedup: {speedup:.2}x");
+
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.key("bench").string("sweep");
+    j.key("scale").string(scale.name());
+    j.key("grid_points").u64(spec.len() as u64);
+    j.key("workers").u64(workers as u64);
+    j.key("serial_ms").f64(serial_s * 1e3);
+    j.key("parallel_ms").f64(parallel_s * 1e3);
+    j.key("speedup").f64(speedup);
+    j.key("jobs_per_sec").f64(parallel.jobs_per_sec());
+    j.key("sim_cycles_per_sec").f64(parallel.sim_cycles_per_sec());
+    j.key("cache_hits").u64(parallel.cache_hits);
+    j.key("cache_misses").u64(parallel.cache_misses);
+    j.key("ok").u64(parallel.ok_count() as u64);
+    j.key("failed").u64(parallel.failed_count() as u64);
+    j.end();
+    std::fs::write("BENCH_sweep.json", j.finish() + "\n").expect("write BENCH_sweep.json");
+    println!("  wrote BENCH_sweep.json");
+}

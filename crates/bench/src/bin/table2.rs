@@ -3,27 +3,16 @@
 //!
 //! Usage: `cargo run --release -p mtsim-bench --bin table2 [--scale tiny|small|full]`
 
-use mtsim_bench::report::{pct, TextTable};
+use mtsim_bench::report::run_length_text;
 use mtsim_bench::{experiments, scale_from_args};
 use mtsim_core::SwitchModel;
 
 fn main() {
     let scale = scale_from_args();
     println!("Table 2: run-lengths between context switches, switch-on-load (scale {scale:?})\n");
-    let mut t = TextTable::new(["app", "mean", "%1", "%2", "%3-4", "%5-8", "%9-16", "runs"]);
-    for row in experiments::run_length_table(scale, SwitchModel::SwitchOnLoad) {
-        t.row([
-            row.app.name().to_string(),
-            format!("{:.1}", row.hist.mean()),
-            pct(row.hist.fraction_at(1)),
-            pct(row.hist.fraction_at(2)),
-            pct(row.hist.fraction_at(3)),
-            pct(row.hist.fraction_at(5)),
-            pct(row.hist.fraction_at(9)),
-            row.hist.count().to_string(),
-        ]);
-    }
-    print!("{}", t.render());
+    let rows = experiments::run_length_table(scale, SwitchModel::SwitchOnLoad);
+    let runs = rows.iter().map(|r| r.hist.count().to_string()).collect();
+    print!("{}", run_length_text(&rows, ("runs", runs)));
     println!(
         "\n(paper: sor 39% ones + 39% twos; blkmat exceptionally long mean; locus/mp3d short)"
     );

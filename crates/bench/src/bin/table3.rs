@@ -1,22 +1,16 @@
 //! Regenerates Table 3: multithreading level needed per efficiency target
 //! under the switch-on-load model.
 //!
-//! Usage: `cargo run --release -p mtsim-bench --bin table3 [--scale tiny|small|full]`
+//! Usage: `cargo run --release -p mtsim-bench --bin table3 [--scale tiny|small|full] [--jobs N]`
 
-use mtsim_bench::report::{level, TextTable};
-use mtsim_bench::{experiments, scale_from_args};
+use mtsim_bench::report::mt_table_text;
+use mtsim_bench::{experiments, jobs_from_args, scale_from_args};
 use mtsim_core::SwitchModel;
 
 fn main() {
     let scale = scale_from_args();
     println!("Table 3: switch-on-load — multithreading needed per efficiency (scale {scale:?})\n");
-    let mut t = TextTable::new(["app (procs)", "50%", "60%", "70%", "80%", "90%"]);
-    for row in experiments::mt_table(scale, SwitchModel::SwitchOnLoad) {
-        t.row(
-            std::iter::once(format!("{} ({})", row.app.name(), row.procs))
-                .chain(row.needed.iter().map(|&n| level(n))),
-        );
-    }
-    print!("{}", t.render());
+    let rows = experiments::mt_table(scale, SwitchModel::SwitchOnLoad, jobs_from_args());
+    print!("{}", mt_table_text(&rows, None));
     println!("\n(paper: sieve reaches 90% at T=11; sor and ugray plateau near 60%)");
 }

@@ -3,26 +3,15 @@
 //!
 //! Usage: `cargo run --release -p mtsim-bench --bin table4 [--scale tiny|small|full]`
 
-use mtsim_bench::report::{pct, TextTable};
+use mtsim_bench::report::run_length_text;
 use mtsim_bench::{experiments, scale_from_args};
 use mtsim_core::SwitchModel;
 
 fn main() {
     let scale = scale_from_args();
     println!("Table 4: run-lengths after grouping, explicit-switch (scale {scale:?})\n");
-    let mut t = TextTable::new(["app", "mean", "%1", "%2", "%3-4", "%5-8", "%9-16", "grouping"]);
-    for row in experiments::run_length_table(scale, SwitchModel::ExplicitSwitch) {
-        t.row([
-            row.app.name().to_string(),
-            format!("{:.1}", row.hist.mean()),
-            pct(row.hist.fraction_at(1)),
-            pct(row.hist.fraction_at(2)),
-            pct(row.hist.fraction_at(3)),
-            pct(row.hist.fraction_at(5)),
-            pct(row.hist.fraction_at(9)),
-            format!("{:.2}", row.grouping),
-        ]);
-    }
-    print!("{}", t.render());
+    let rows = experiments::run_length_table(scale, SwitchModel::ExplicitSwitch);
+    let grouping = rows.iter().map(|r| format!("{:.2}", r.grouping)).collect();
+    print!("{}", run_length_text(&rows, ("grouping", grouping)));
     println!("\n(paper: sor and water benefit most; short runs eliminated; locus barely grouped at 1.05)");
 }

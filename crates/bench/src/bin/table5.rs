@@ -1,25 +1,24 @@
 //! Regenerates Table 5: explicit-switch multithreading levels plus the
 //! code-reorganization penalty.
 //!
-//! Usage: `cargo run --release -p mtsim-bench --bin table5 [--scale tiny|small|full]`
+//! Usage: `cargo run --release -p mtsim-bench --bin table5 [--scale tiny|small|full] [--jobs N]`
 
-use mtsim_bench::report::{level, TextTable};
-use mtsim_bench::{experiments, scale_from_args};
+use mtsim_bench::report::mt_table_text;
+use mtsim_bench::{experiments, jobs_from_args, scale_from_args};
 use mtsim_core::SwitchModel;
 
 fn main() {
     let scale = scale_from_args();
     println!("Table 5: explicit-switch — multithreading needed per efficiency (scale {scale:?})\n");
     let penalties = experiments::reorganization_penalty(scale);
-    let mut t = TextTable::new(["app (procs)", "50%", "60%", "70%", "80%", "90%", "penalty"]);
-    for row in experiments::mt_table(scale, SwitchModel::ExplicitSwitch) {
-        let pen = penalties.iter().find(|(a, _)| *a == row.app).map(|&(_, p)| p).unwrap_or(0.0);
-        t.row(
-            std::iter::once(format!("{} ({})", row.app.name(), row.procs))
-                .chain(row.needed.iter().map(|&n| level(n)))
-                .chain(std::iter::once(format!("{:+.1}%", pen * 100.0))),
-        );
-    }
-    print!("{}", t.render());
+    let rows = experiments::mt_table(scale, SwitchModel::ExplicitSwitch, jobs_from_args());
+    let cells = rows
+        .iter()
+        .map(|row| {
+            let pen = penalties.iter().find(|(a, _)| *a == row.app).map(|&(_, p)| p).unwrap_or(0.0);
+            format!("{:+.1}%", pen * 100.0)
+        })
+        .collect();
+    print!("{}", mt_table_text(&rows, Some(("penalty", cells))));
     println!("\n(paper: all apps except locus reach 70%+ with T<=14; penalty a few percent)");
 }

@@ -1,9 +1,9 @@
 //! Regenerates Table 8: conditional-switch multithreading levels.
 //!
-//! Usage: `cargo run --release -p mtsim-bench --bin table8 [--scale tiny|small|full]`
+//! Usage: `cargo run --release -p mtsim-bench --bin table8 [--scale tiny|small|full] [--jobs N]`
 
-use mtsim_bench::report::{level, TextTable};
-use mtsim_bench::{experiments, scale_from_args};
+use mtsim_bench::report::mt_table_text;
+use mtsim_bench::{experiments, jobs_from_args, scale_from_args};
 use mtsim_core::SwitchModel;
 
 fn main() {
@@ -11,13 +11,7 @@ fn main() {
     println!(
         "Table 8: conditional-switch — multithreading needed per efficiency (scale {scale:?})\n"
     );
-    let mut t = TextTable::new(["app (procs)", "50%", "60%", "70%", "80%", "90%"]);
-    for row in experiments::mt_table(scale, SwitchModel::ConditionalSwitch) {
-        t.row(
-            std::iter::once(format!("{} ({})", row.app.name(), row.procs))
-                .chain(row.needed.iter().map(|&n| level(n))),
-        );
-    }
-    print!("{}", t.render());
+    let rows = experiments::mt_table(scale, SwitchModel::ConditionalSwitch, jobs_from_args());
+    print!("{}", mt_table_text(&rows, None));
     println!("\n(paper: 80%+ efficiency with 6 or fewer threads for the cache-friendly apps)");
 }

@@ -9,7 +9,8 @@
 use mtsim_apps::{
     app_builder, build_app, efficiency, run_app, run_app_with_program, AppKind, BuiltApp, Scale,
 };
-use mtsim_core::{MachineConfig, RunLengthHist, RunResult, SwitchModel};
+use mtsim_core::{MachineConfig, RunLengthHist, RunResult, RunStats, SwitchModel};
+use mtsim_sweep::{run_job_specs, JobOutcome, JobSpec, SweepOpts};
 
 /// Watchdog for every experiment run (generous; catches deadlocks).
 const MAX_CYCLES: u64 = 300_000_000;
@@ -232,28 +233,84 @@ pub struct MtRow {
     pub efficiencies: Vec<f64>,
 }
 
+/// The ideal-machine serial baseline as a sweep job (the denominator of
+/// every efficiency figure).
+fn baseline_job(id: usize, app: AppKind, scale: Scale) -> JobSpec {
+    JobSpec {
+        id,
+        app,
+        model: SwitchModel::Ideal,
+        procs: 1,
+        threads_per_proc: 1,
+        latency: 0,
+        seed: 0,
+        drop_rate: 0.0,
+        scale,
+        max_cycles: MAX_CYCLES,
+        max_retries: 8,
+    }
+}
+
+/// Unwraps a sweep job's stats, panicking with context on failure — the
+/// table generators treat any failing grid point as a broken experiment,
+/// exactly as the pre-sweep serial code did.
+fn stats_or_panic<'a>(job: &'a JobOutcome, what: &str) -> &'a RunStats {
+    match &job.result {
+        Ok(stats) => stats,
+        Err(e) => panic!(
+            "{what} failed for {} under {} (p={}, t={}): {e}",
+            job.spec.app, job.spec.model, job.spec.procs, job.spec.threads_per_proc
+        ),
+    }
+}
+
 /// Tables 3 (`SwitchOnLoad`), 5 (`ExplicitSwitch`) and 8
 /// (`ConditionalSwitch`): the multithreading level needed per efficiency
 /// target.
-pub fn mt_table(scale: Scale, model: SwitchModel) -> Vec<MtRow> {
+///
+/// Runs on the `mtsim-sweep` engine with `workers` threads (`None` =
+/// machine default), evaluating the full `1..=max_t` grid for every app.
+/// The result is a pure function of the grid — identical at any worker
+/// count.
+pub fn mt_table(scale: Scale, model: SwitchModel, workers: Option<usize>) -> Vec<MtRow> {
+    // Per-app grid: one ideal baseline plus max_t multithreaded points.
+    // Ids are laid out app-major so aggregation can index directly.
+    let tmax = max_t(scale);
+    let stride = tmax + 1;
+    let mut jobs = Vec::with_capacity(AppKind::ALL.len() * stride);
+    for (a, &kind) in AppKind::ALL.iter().enumerate() {
+        let procs = procs_for(kind, scale);
+        jobs.push(baseline_job(a * stride, kind, scale));
+        for t in 1..=tmax {
+            jobs.push(JobSpec {
+                id: a * stride + t,
+                app: kind,
+                model,
+                procs,
+                threads_per_proc: t,
+                latency: 200,
+                seed: 0,
+                drop_rate: 0.0,
+                scale,
+                max_cycles: MAX_CYCLES,
+                max_retries: 8,
+            });
+        }
+    }
+    let out = run_job_specs(jobs, &SweepOpts { workers, progress: false });
+
     AppKind::ALL
         .iter()
-        .map(|&kind| {
+        .enumerate()
+        .map(|(a, &kind)| {
             let procs = procs_for(kind, scale);
-            let build = app_builder(kind, scale);
-            let baseline = ideal_baseline(&build);
-            let mut effs = Vec::new();
-            let mut best = 0.0f64;
-            for t in 1..=max_t(scale) {
-                let app = build(procs * t);
-                let r = run_app(&app, cfg(model, procs, t)).expect("mt run");
-                let e = efficiency(baseline, procs, r.cycles);
-                effs.push(e);
-                best = best.max(e);
-                if best >= TARGETS[TARGETS.len() - 1] {
-                    break;
-                }
-            }
+            let baseline = stats_or_panic(&out.jobs[a * stride], "baseline").cycles;
+            let effs: Vec<f64> = (1..=tmax)
+                .map(|t| {
+                    let s = stats_or_panic(&out.jobs[a * stride + t], "mt run");
+                    efficiency(baseline, procs, s.cycles)
+                })
+                .collect();
             let needed = TARGETS
                 .iter()
                 .map(|&target| effs.iter().position(|&e| e >= target).map(|i| i + 1))
@@ -532,25 +589,49 @@ pub const LATENCY_MODELS: [SwitchModel; 3] =
 /// The title claim — "easily tolerate latencies of hundreds of cycles":
 /// efficiency of one application as the round trip grows from 50 to 800
 /// cycles at a fixed multithreading level.
+///
+/// Runs on the `mtsim-sweep` engine with `workers` threads (`None` =
+/// machine default); the app builds once and every (model, latency)
+/// point shares the cached artifact.
 pub fn latency_sweep(
     kind: AppKind,
     scale: Scale,
     procs: usize,
     t: usize,
     latencies: &[u64],
+    workers: Option<usize>,
 ) -> Vec<LatencyRow> {
-    let build = app_builder(kind, scale);
-    let baseline = ideal_baseline(&build);
+    let mut jobs = vec![baseline_job(0, kind, scale)];
+    for (i, &lat) in latencies.iter().enumerate() {
+        for (m, &model) in LATENCY_MODELS.iter().enumerate() {
+            jobs.push(JobSpec {
+                id: 1 + i * LATENCY_MODELS.len() + m,
+                app: kind,
+                model,
+                procs,
+                threads_per_proc: t,
+                latency: lat,
+                seed: 0,
+                drop_rate: 0.0,
+                scale,
+                max_cycles: MAX_CYCLES,
+                max_retries: 8,
+            });
+        }
+    }
+    let out = run_job_specs(jobs, &SweepOpts { workers, progress: false });
+    let baseline = stats_or_panic(&out.jobs[0], "latency baseline").cycles;
     latencies
         .iter()
-        .map(|&lat| {
-            let efficiency_by_model = LATENCY_MODELS
-                .iter()
-                .map(|&m| {
-                    let app = build(procs * t);
-                    let r = run_app(&app, cfg(m, procs, t).with_latency(lat))
-                        .expect("latency sweep run");
-                    efficiency(baseline, procs, r.cycles)
+        .enumerate()
+        .map(|(i, &lat)| {
+            let efficiency_by_model = (0..LATENCY_MODELS.len())
+                .map(|m| {
+                    let s = stats_or_panic(
+                        &out.jobs[1 + i * LATENCY_MODELS.len() + m],
+                        "latency sweep run",
+                    );
+                    efficiency(baseline, procs, s.cycles)
                 })
                 .collect();
             LatencyRow { latency: lat, efficiency: efficiency_by_model }

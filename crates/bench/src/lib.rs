@@ -31,13 +31,26 @@ pub fn scale_from_args() -> Scale {
     let args: Vec<String> = std::env::args().collect();
     for w in args.windows(2) {
         if w[0] == "--scale" {
-            return match w[1].as_str() {
-                "tiny" => Scale::Tiny,
-                "small" => Scale::Small,
-                "full" => Scale::Full,
-                other => panic!("unknown scale '{other}' (expected tiny|small|full)"),
-            };
+            return Scale::from_name(&w[1])
+                .unwrap_or_else(|| panic!("unknown scale '{}' (expected tiny|small|full)", w[1]));
         }
     }
     Scale::Small
+}
+
+/// Parses `--jobs N` from command-line arguments. `None` (flag absent)
+/// lets the sweep engine pick its default (`MTSIM_JOBS` or the machine's
+/// available parallelism).
+pub fn jobs_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--jobs" {
+            let n: usize = w[1]
+                .parse()
+                .unwrap_or_else(|_| panic!("bad --jobs value '{}' (expected a count)", w[1]));
+            assert!(n >= 1, "--jobs must be >= 1");
+            return Some(n);
+        }
+    }
+    None
 }

@@ -72,6 +72,58 @@ pub fn level(x: Option<usize>) -> String {
     }
 }
 
+/// Renders a multithreading-level table (Tables 3, 5 and 8 share this
+/// layout): `app (procs)` then one column per efficiency target, plus an
+/// optional extra column given as `(header, one cell per row)`.
+pub fn mt_table_text(
+    rows: &[crate::experiments::MtRow],
+    extra: Option<(&str, Vec<String>)>,
+) -> String {
+    let mut header: Vec<String> = std::iter::once("app (procs)".to_string())
+        .chain(crate::experiments::TARGETS.iter().map(|t| pct(*t)))
+        .collect();
+    if let Some((name, cells)) = &extra {
+        assert_eq!(cells.len(), rows.len(), "extra column arity mismatch");
+        header.push((*name).to_string());
+    }
+    let mut t = TextTable::new(header);
+    for (i, row) in rows.iter().enumerate() {
+        let mut cells: Vec<String> = std::iter::once(format!("{} ({})", row.app, row.procs))
+            .chain(row.needed.iter().map(|&n| level(n)))
+            .collect();
+        if let Some((_, extra_cells)) = &extra {
+            cells.push(extra_cells[i].clone());
+        }
+        t.row(cells);
+    }
+    t.render()
+}
+
+/// Renders a run-length-distribution table (Tables 2 and 4 share this
+/// layout): mean, bucket percentages, then one table-specific last column
+/// given as `(header, one cell per row)`.
+pub fn run_length_text(
+    rows: &[crate::experiments::RunLenRow],
+    last: (&str, Vec<String>),
+) -> String {
+    let (last_header, last_cells) = last;
+    assert_eq!(last_cells.len(), rows.len(), "last column arity mismatch");
+    let mut t = TextTable::new(["app", "mean", "%1", "%2", "%3-4", "%5-8", "%9-16", last_header]);
+    for (row, last_cell) in rows.iter().zip(last_cells) {
+        t.row([
+            row.app.name().to_string(),
+            format!("{:.1}", row.hist.mean()),
+            pct(row.hist.fraction_at(1)),
+            pct(row.hist.fraction_at(2)),
+            pct(row.hist.fraction_at(3)),
+            pct(row.hist.fraction_at(5)),
+            pct(row.hist.fraction_at(9)),
+            last_cell,
+        ]);
+    }
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

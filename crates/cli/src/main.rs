@@ -12,7 +12,18 @@
 //! mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats]
 //!                [--seed N] [--fault-drop R] [--fault-delay R]
 //!                [--fault-dup R] [--latency-dist D] [--max-retries N]
+//! mtsim sweep [--spec FILE] [--apps A,B|all] [--models M,N|all] [--p LIST]
+//!             [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]
+//!             [--scale S] [--max-cycles N] [--max-retries N]
+//!             [--jobs N] [--out results.json] [--csv results.csv] [--quiet]
 //! ```
+//!
+//! `sweep` runs the cartesian grid on the work-stealing pool
+//! (`mtsim-sweep`). List axes are comma-separated; integer axes accept
+//! `LO-HI` ranges. A `--spec` file holds `key = value` lines with the
+//! same keys; explicit flags override it. With `--out`/`--csv` the
+//! deterministic result table is written there; otherwise CSV goes to
+//! stdout. A failing grid point is one failing row, not a dead sweep.
 //!
 //! Latency distributions: `constant` (the paper's model), `uniform:LO:HI`,
 //! `geometric:MIN:MEAN` (MEAN is the average extra tail beyond MIN).
@@ -32,6 +43,7 @@
 use mtsim_apps::{build_app, run_app, AppKind, Scale};
 use mtsim_core::{MachineConfig, SwitchModel};
 use mtsim_mem::{FaultConfig, LatencyDist};
+use mtsim_sweep::{SweepOpts, SweepSpec};
 
 /// The simulation ran and failed (typed `SimError` or wrong results).
 const EXIT_RUN_FAILED: i32 = 1;
@@ -40,7 +52,7 @@ const EXIT_USAGE: i32 = 2;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault flags]\n\napps: {}\nmodels: {}",
+        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault flags]\n  mtsim sweep [--spec FILE] [--apps LIST|all] [--models LIST|all] [--p LIST]\n              [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]\n              [--scale S] [--max-cycles N] [--max-retries N]\n              [--jobs N] [--out FILE.json] [--csv FILE.csv] [--quiet]\n\napps: {}\nmodels: {}",
         AppKind::ALL.map(|a| a.name()).join(", "),
         SwitchModel::ALL.map(|m| m.name()).join(", ")
     );
@@ -203,7 +215,109 @@ fn main() {
             value_flags.extend(FAULT_FLAGS);
             cmd_run_file(&Args::parse(&value_flags, &["stats"]))
         }
+        Some("sweep") => cmd_sweep(&Args::parse(
+            &[
+                "spec",
+                "apps",
+                "models",
+                "p",
+                "t",
+                "latency",
+                "seeds",
+                "drop",
+                "scale",
+                "max-cycles",
+                "max-retries",
+                "jobs",
+                "out",
+                "csv",
+            ],
+            &["quiet"],
+        )),
         _ => usage(),
+    }
+}
+
+/// Grid-axis flags forwarded verbatim to [`SweepSpec::set`].
+const SWEEP_KEYS: [&str; 9] =
+    ["apps", "models", "p", "t", "latency", "seeds", "drop", "max-cycles", "max-retries"];
+
+fn cmd_sweep(args: &Args) {
+    use std::io::IsTerminal;
+
+    // Spec file first, explicit flags override.
+    let mut spec = match args.get("spec") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(EXIT_USAGE);
+            });
+            SweepSpec::parse_file(&text).unwrap_or_else(|e| bad_usage(&format!("{path}: {e}")))
+        }
+        None => SweepSpec::default(),
+    };
+    for key in SWEEP_KEYS {
+        if let Some(value) = args.get(key) {
+            spec.set(key, value).unwrap_or_else(|e| bad_usage(&e));
+        }
+    }
+    if let Some(s) = args.get("scale") {
+        spec.scale = parse_scale(s);
+    }
+
+    let workers = args.get("jobs").map(|v| {
+        let n: usize = parse_num("jobs", v);
+        if n == 0 {
+            bad_usage("--jobs must be >= 1");
+        }
+        n
+    });
+    let quiet = args.has("quiet");
+    let opts = SweepOpts { workers, progress: !quiet && std::io::stderr().is_terminal() };
+
+    let out = match mtsim_sweep::run_sweep(&spec, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: invalid sweep: {e}");
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+
+    // Deterministic table to the requested sinks; CSV to stdout when no
+    // file was asked for.
+    let mut wrote_file = false;
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, out.results_json() + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(EXIT_USAGE);
+        });
+        wrote_file = true;
+    }
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, out.results_csv()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(EXIT_USAGE);
+        });
+        wrote_file = true;
+    }
+    if !wrote_file {
+        print!("{}", out.results_csv());
+    }
+
+    if !quiet {
+        eprintln!("{}", out.summary_line());
+        for job in out.jobs.iter().filter(|j| j.result.is_err()) {
+            let s = &job.spec;
+            if let Err(e) = &job.result {
+                eprintln!(
+                    "  failed: job {} ({} {} p={} t={} latency={} seed={}): {e}",
+                    s.id, s.app, s.model, s.procs, s.threads_per_proc, s.latency, s.seed
+                );
+            }
+        }
+    }
+    if out.failed_count() > 0 {
+        std::process::exit(EXIT_RUN_FAILED);
     }
 }
 

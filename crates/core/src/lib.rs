@@ -48,4 +48,35 @@ mod thread;
 
 pub use engine::{FinishedRun, Machine};
 pub use model::{MachineConfig, SwitchModel};
-pub use stats::{DeadlockWaiter, ProcStats, RunLengthHist, RunResult, SimError};
+pub use stats::{DeadlockWaiter, ProcStats, RunLengthHist, RunResult, RunStats, SimError};
+
+#[cfg(test)]
+mod send_audit {
+    //! Compile-time `Send`/`Sync` audit for the sweep pool contract
+    //! (DESIGN.md §14): a worker thread must be able to own a `Machine`
+    //! and ship its results back. If a future change threads an `Rc` or
+    //! raw pointer through the engine, these tests stop compiling instead
+    //! of letting the parallel sweep engine regress silently.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn engine_types_are_send() {
+        assert_send::<Machine>();
+        assert_send::<MachineConfig>();
+        assert_send::<FinishedRun>();
+        assert_send::<RunResult>();
+        assert_send::<RunStats>();
+        assert_send::<SimError>();
+    }
+
+    #[test]
+    fn shareable_types_are_sync() {
+        assert_sync::<MachineConfig>();
+        assert_sync::<RunResult>();
+        assert_sync::<RunStats>();
+        assert_sync::<SimError>();
+    }
+}

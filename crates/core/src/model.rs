@@ -91,6 +91,11 @@ impl SwitchModel {
             SwitchModel::ConditionalSwitch => "conditional-switch",
         }
     }
+
+    /// Parses a display name back to the model (`"switch-on-load"`, …).
+    pub fn from_name(name: &str) -> Option<SwitchModel> {
+        SwitchModel::ALL.into_iter().find(|m| m.name() == name)
+    }
 }
 
 impl std::fmt::Display for SwitchModel {

@@ -227,6 +227,50 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// A flat, `Copy` summary of a [`RunResult`]: every headline counter and
+/// nothing heap-allocated, so sweep harnesses can ship results across
+/// threads and aggregate thousands of points without cloning per-processor
+/// vectors, histograms, or traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of processors in the run.
+    pub processors: u64,
+    /// Wall-clock completion time in cycles.
+    pub cycles: u64,
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Busy cycles summed over all processors.
+    pub busy: u64,
+    /// Idle cycles summed over all processors.
+    pub idle: u64,
+    /// Context-switch overhead cycles summed over all processors.
+    pub overhead: u64,
+    /// Scoreboard-stall cycles summed over all processors.
+    pub stalls: u64,
+    /// Context switches actually taken.
+    pub switches_taken: u64,
+    /// `Switch` instructions skipped.
+    pub switches_skipped: u64,
+    /// Switches forced by the `max_run` interval.
+    pub forced_switches: u64,
+    /// Blocking shared reads issued.
+    pub reads_issued: u64,
+    /// NACK-driven retries summed over all processors.
+    pub retries: u64,
+    /// Timeout-driven resends summed over all processors.
+    pub timeouts: u64,
+}
+
+impl RunStats {
+    /// Processor utilization: busy / (processors × wall-clock).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 || self.processors == 0 {
+            return 0.0;
+        }
+        self.busy as f64 / (self.cycles as f64 * self.processors as f64)
+    }
+}
+
 /// The complete result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -297,6 +341,27 @@ impl RunResult {
     /// Total timeout-driven resends over all processors (fault injection).
     pub fn total_timeouts(&self) -> u64 {
         self.per_proc.iter().map(|p| p.timeouts).sum()
+    }
+
+    /// Flattens the headline counters into a [`RunStats`] snapshot. Cheap
+    /// (no allocation) and `Copy`, so sweep harnesses can keep one per grid
+    /// point and drop the full result.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            processors: self.per_proc.len() as u64,
+            cycles: self.cycles,
+            instructions: self.instructions,
+            busy: self.busy_cycles(),
+            idle: self.per_proc.iter().map(|p| p.idle).sum(),
+            overhead: self.per_proc.iter().map(|p| p.overhead).sum(),
+            stalls: self.scoreboard_stalls,
+            switches_taken: self.switches_taken,
+            switches_skipped: self.switches_skipped,
+            forced_switches: self.forced_switches,
+            reads_issued: self.reads_issued,
+            retries: self.total_retries(),
+            timeouts: self.total_timeouts(),
+        }
     }
 
     /// One-line-cache hit rate (§5.2 estimator), 0.0 if unused.

@@ -1,0 +1,116 @@
+//! Shared artifact cache: build each application image once per sweep.
+//!
+//! A grid point needs two artifacts: the built application (program +
+//! initialized shared memory + verifier) keyed by `(app, scale,
+//! nthreads)`, and — under the explicit/conditional switch models — the
+//! grouped program produced by the load-grouping pass. Without the cache,
+//! an N-point grid performs N codegen and N grouping passes; with it,
+//! each distinct key builds once and every other point clones an `Arc`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mtsim_apps::{build_app, AppKind, BuiltApp, Scale};
+use mtsim_asm::Program;
+
+type Key = (AppKind, Scale, usize);
+
+/// Thread-safe cache of built applications and grouped programs.
+#[derive(Default)]
+pub struct ArtifactCache {
+    built: Mutex<HashMap<Key, Arc<BuiltApp>>>,
+    grouped: Mutex<HashMap<Key, Arc<Program>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// The built application for `(app, scale, nthreads)`, constructing it
+    /// on first use. The boolean is true on a cache hit.
+    pub fn built(&self, app: AppKind, scale: Scale, nthreads: usize) -> (Arc<BuiltApp>, bool) {
+        let key = (app, scale, nthreads);
+        if let Some(hit) = self.built.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(hit), true);
+        }
+        // Build outside the lock: app construction (codegen + input image)
+        // is the expensive part, and a concurrent duplicate build is
+        // harmless because construction is deterministic — whichever copy
+        // loses the insert race is simply dropped.
+        let fresh = Arc::new(build_app(app, scale, nthreads));
+        let mut map = self.built.lock().unwrap();
+        let entry = map.entry(key).or_insert(fresh);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (Arc::clone(entry), false)
+    }
+
+    /// The grouped (explicit-switch) program for `(app, scale, nthreads)`,
+    /// deriving it from the built application on first use. The boolean is
+    /// true on a cache hit.
+    pub fn grouped(&self, app: AppKind, scale: Scale, nthreads: usize) -> (Arc<Program>, bool) {
+        let key = (app, scale, nthreads);
+        if let Some(hit) = self.grouped.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(hit), true);
+        }
+        let (base, _) = self.built(app, scale, nthreads);
+        let fresh = Arc::new(base.grouped().0);
+        let mut map = self.grouped.lock().unwrap();
+        let entry = map.entry(key).or_insert(fresh);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (Arc::clone(entry), false)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (i.e. builds performed) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_artifact() {
+        let cache = ArtifactCache::new();
+        let (a, hit_a) = cache.built(AppKind::Sieve, Scale::Tiny, 2);
+        let (b, hit_b) = cache.built(AppKind::Sieve, Scale::Tiny, 2);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_thread_counts_are_distinct_entries() {
+        let cache = ArtifactCache::new();
+        let (_, h1) = cache.built(AppKind::Sieve, Scale::Tiny, 1);
+        let (_, h2) = cache.built(AppKind::Sieve, Scale::Tiny, 2);
+        assert!(!h1 && !h2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn grouped_program_matches_a_fresh_grouping() {
+        let cache = ArtifactCache::new();
+        let (grouped, hit) = cache.grouped(AppKind::Sieve, Scale::Tiny, 2);
+        assert!(!hit);
+        let fresh = build_app(AppKind::Sieve, Scale::Tiny, 2).grouped().0;
+        assert_eq!(*grouped, fresh);
+        let (_, hit2) = cache.grouped(AppKind::Sieve, Scale::Tiny, 2);
+        assert!(hit2);
+    }
+}

@@ -1,0 +1,192 @@
+//! # mtsim-sweep
+//!
+//! Parallel experiment orchestration for `mtsim` grid sweeps.
+//!
+//! Every paper table and figure is a grid over (application, switch
+//! model, P, T, latency, …), and every grid point is an independent,
+//! deterministic, single-threaded simulation (DESIGN.md §9) — an
+//! embarrassingly parallel workload. This crate turns a declarative
+//! [`SweepSpec`] into jobs, runs them on a `std`-only work-stealing
+//! thread pool with panic isolation, shares built application artifacts
+//! through an [`ArtifactCache`], and aggregates per-job
+//! [`mtsim_core::RunStats`] into a result table whose JSON/CSV renderings
+//! are byte-identical at any worker count.
+//!
+//! ```
+//! use mtsim_sweep::{run_sweep, SweepOpts, SweepSpec};
+//!
+//! let mut spec = SweepSpec::default();
+//! spec.set("apps", "sieve").unwrap();
+//! spec.set("t", "1,2").unwrap();
+//! spec.set("scale", "tiny").unwrap();
+//! let out = run_sweep(&spec, &SweepOpts { workers: Some(2), ..SweepOpts::default() }).unwrap();
+//! assert_eq!(out.ok_count(), 2);
+//! ```
+
+mod cache;
+pub mod json;
+mod pool;
+mod results;
+mod spec;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use mtsim_core::Machine;
+
+pub use cache::ArtifactCache;
+pub use pool::{default_workers, run_jobs};
+pub use results::{JobError, JobOutcome, SweepOutcome};
+pub use spec::{JobSpec, SweepSpec, DEFAULT_MAX_CYCLES};
+
+/// Execution options for a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOpts {
+    /// Worker threads; `None` means [`default_workers`].
+    pub workers: Option<usize>,
+    /// Emit a live `[done/total]` progress line on stderr.
+    pub progress: bool,
+}
+
+/// Expands `spec` and runs every grid point.
+///
+/// # Errors
+///
+/// Returns an error when the spec fails [`SweepSpec::validate`]; failures
+/// of individual grid points are reported per job in the outcome, never
+/// as a sweep-level error.
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOpts) -> Result<SweepOutcome, String> {
+    spec.validate()?;
+    Ok(run_job_specs(spec.expand(), opts))
+}
+
+/// Runs an explicit job list — the escape hatch for grids a cartesian
+/// [`SweepSpec`] cannot express (per-app processor counts, mixed
+/// baselines). Ids are the caller's; the outcome is sorted by id, so the
+/// submission order never shows in the results.
+pub fn run_job_specs(jobs: Vec<JobSpec>, opts: &SweepOpts) -> SweepOutcome {
+    let workers = opts.workers.unwrap_or_else(default_workers);
+    let total = jobs.len();
+    let cache = ArtifactCache::new();
+    let done = AtomicUsize::new(0);
+    let started = Instant::now();
+
+    let ran = pool::run_jobs(jobs, workers, |_, spec| {
+        let outcome = run_one(spec, &cache);
+        if opts.progress {
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            eprint!(
+                "\r[{n}/{total}] {} {} p={} t={}      ",
+                spec.app, spec.model, spec.procs, spec.threads_per_proc
+            );
+        }
+        outcome
+    });
+    if opts.progress && total > 0 {
+        eprintln!();
+    }
+
+    let mut outcomes: Vec<JobOutcome> = ran
+        .into_iter()
+        .map(|(spec, result)| match result {
+            Ok(outcome) => outcome,
+            Err(message) => {
+                JobOutcome { spec, result: Err(JobError::Panic { message }), cache_hit: false }
+            }
+        })
+        .collect();
+    outcomes.sort_by_key(|o| o.spec.id);
+
+    SweepOutcome {
+        jobs: outcomes,
+        workers,
+        wall: started.elapsed(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+    }
+}
+
+/// Runs a single grid point against the shared artifact cache.
+fn run_one(spec: &JobSpec, cache: &ArtifactCache) -> JobOutcome {
+    let (app, mut cache_hit) = cache.built(spec.app, spec.scale, spec.nthreads());
+    let cfg = spec.config();
+    if cfg.total_threads() != app.nthreads {
+        let message = format!(
+            "app was built for {} threads, config asks for {}",
+            app.nthreads,
+            cfg.total_threads()
+        );
+        return JobOutcome {
+            spec: *spec,
+            result: Err(JobError::Sim { kind: "config", message }),
+            cache_hit,
+        };
+    }
+
+    // Mirror `mtsim_apps::run_app`'s model-aware program selection, but
+    // through the cache so the grouping pass also runs once per key.
+    let run = if cfg.model.uses_explicit_switch() {
+        let (grouped, hit) = cache.grouped(spec.app, spec.scale, spec.nthreads());
+        cache_hit = cache_hit && hit;
+        Machine::try_new(cfg, &grouped, app.shared.clone()).and_then(Machine::run)
+    } else {
+        Machine::try_new(cfg, &app.program, app.shared.clone()).and_then(Machine::run)
+    };
+
+    let result = match run {
+        Err(err) => Err(JobError::from_sim(&err)),
+        Ok(fin) => match app.verify(&fin.shared) {
+            Err(message) => Err(JobError::Verify { message }),
+            Ok(()) => Ok(fin.result.stats()),
+        },
+    };
+    JobOutcome { spec: *spec, result, cache_hit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsim_apps::{AppKind, Scale};
+    use mtsim_core::SwitchModel;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            apps: vec![AppKind::Sieve],
+            models: vec![SwitchModel::SwitchOnLoad, SwitchModel::ExplicitSwitch],
+            procs: vec![2],
+            threads: vec![1, 2],
+            scale: Scale::Tiny,
+            ..SweepSpec::default()
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_runs_every_point_ok() {
+        let out = run_sweep(&tiny_spec(), &SweepOpts::default()).unwrap();
+        assert_eq!(out.jobs.len(), 4);
+        assert_eq!(out.ok_count(), 4);
+        // Two (model-independent) builds, one grouping derivation; the
+        // rest of the lookups hit.
+        assert!(out.cache_hits + out.cache_misses >= 4);
+        for job in &out.jobs {
+            let stats = job.result.as_ref().unwrap();
+            assert!(stats.cycles > 0);
+            assert!(stats.instructions > 0);
+        }
+    }
+
+    #[test]
+    fn invalid_spec_is_a_sweep_level_error() {
+        let spec = SweepSpec { procs: vec![], ..SweepSpec::default() };
+        assert!(run_sweep(&spec, &SweepOpts::default()).is_err());
+    }
+
+    #[test]
+    fn outcome_is_sorted_by_id_regardless_of_submission() {
+        let mut jobs = tiny_spec().expand();
+        jobs.reverse();
+        let out = run_job_specs(jobs, &SweepOpts { workers: Some(3), ..SweepOpts::default() });
+        let ids: Vec<usize> = out.jobs.iter().map(|j| j.spec.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,180 @@
+//! A `std`-only work-stealing thread pool for sweep jobs.
+//!
+//! Topology: one shared injector deque seeded with every job, plus one
+//! local deque per worker. A worker pops from the front of its own queue,
+//! refills from the injector in small batches when dry, and finally
+//! steals from the *back* of a peer's queue. Jobs run under
+//! `catch_unwind`, so one panicking grid point becomes one failed result
+//! instead of a dead worker (or a dead sweep).
+//!
+//! Each lock guards a single deque and is never held while another is
+//! acquired except in the fixed order injector → own queue, so the pool
+//! cannot deadlock. Results carry their submission index and are merged
+//! back into submission order, which keeps the output independent of
+//! scheduling.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// One completed job: submission index, the item, and its result (or
+/// caught panic message).
+type Finished<I, O> = (usize, I, Result<O, String>);
+
+/// Workers to use when the caller does not say: `MTSIM_JOBS` if set and
+/// positive, else the machine's available parallelism, else 1.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("MTSIM_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over every item on `workers` threads, returning
+/// `(item, result)` pairs in the original submission order. A panic in
+/// `f` is caught and surfaced as `Err(panic message)` for that item only.
+///
+/// `f` receives the item's submission index alongside the item.
+pub fn run_jobs<I, O, F>(items: Vec<I>, workers: usize, f: F) -> Vec<(I, Result<O, String>)>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let total = items.len();
+    let workers = workers.max(1).min(total.max(1));
+    let injector: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let locals: Vec<Mutex<VecDeque<(usize, I)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let f = &f;
+    let injector = &injector;
+    let locals = &locals;
+
+    let mut collected: Vec<Vec<Finished<I, O>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    while let Some((idx, item)) = next_job(me, injector, locals) {
+                        let result = catch_unwind(AssertUnwindSafe(|| f(idx, &item)))
+                            .map_err(|payload| panic_message(payload.as_ref()));
+                        done.push((idx, item, result));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked outside a job")).collect()
+    });
+
+    let mut out: Vec<Option<(I, Result<O, String>)>> = (0..total).map(|_| None).collect();
+    for (idx, item, result) in collected.drain(..).flatten() {
+        out[idx] = Some((item, result));
+    }
+    out.into_iter().map(|slot| slot.expect("pool lost a job")).collect()
+}
+
+/// Claim the next job for worker `me`: own queue front, then an injector
+/// batch, then a steal from the back of the busiest-looking peer.
+fn next_job<I>(
+    me: usize,
+    injector: &Mutex<VecDeque<(usize, I)>>,
+    locals: &[Mutex<VecDeque<(usize, I)>>],
+) -> Option<(usize, I)> {
+    if let Some(job) = locals[me].lock().unwrap().pop_front() {
+        return Some(job);
+    }
+    {
+        let mut inj = injector.lock().unwrap();
+        if !inj.is_empty() {
+            // Take a small batch: the first job runs now, the rest park in
+            // the local queue where idle peers can steal them back.
+            let batch = inj.len().div_ceil(locals.len()).clamp(1, 4);
+            let first = inj.pop_front();
+            let mut own = locals[me].lock().unwrap();
+            for _ in 1..batch {
+                match inj.pop_front() {
+                    Some(job) => own.push_back(job),
+                    None => break,
+                }
+            }
+            return first;
+        }
+    }
+    for (peer, queue) in locals.iter().enumerate() {
+        if peer == me {
+            continue;
+        }
+        if let Some(job) = queue.lock().unwrap().pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// Best-effort extraction of a panic payload (`&str` and `String` cover
+/// everything `panic!` produces in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = run_jobs(items, 8, |idx, &n| {
+            assert_eq!(idx, n);
+            n * 2
+        });
+        assert_eq!(out.len(), 100);
+        for (i, (item, result)) in out.iter().enumerate() {
+            assert_eq!(*item, i);
+            assert_eq!(*result.as_ref().unwrap(), i * 2);
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = run_jobs((0..57).collect::<Vec<usize>>(), 4, |_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(ran.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn a_panicking_job_fails_alone() {
+        let out = run_jobs(vec![1, 2, 3, 4], 2, |_, &n| {
+            if n == 3 {
+                panic!("boom at {n}");
+            }
+            n
+        });
+        assert_eq!(out.len(), 4);
+        assert!(out[0].1.is_ok() && out[1].1.is_ok() && out[3].1.is_ok());
+        assert!(out[2].1.as_ref().unwrap_err().contains("boom at 3"));
+    }
+
+    #[test]
+    fn zero_items_and_oversized_pools_are_fine() {
+        let out: Vec<(usize, Result<usize, String>)> = run_jobs(Vec::new(), 8, |_, &n| n);
+        assert!(out.is_empty());
+        let out = run_jobs(vec![9], 64, |_, &n| n + 1);
+        assert_eq!(out[0].1.as_ref().unwrap(), &10);
+    }
+}

@@ -1,0 +1,347 @@
+//! Per-job outcomes and deterministic sweep-level aggregation.
+
+use std::time::Duration;
+
+use mtsim_core::{RunStats, SimError};
+
+use crate::json::JsonBuilder;
+use crate::spec::JobSpec;
+
+/// Why one grid point failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The simulator returned a typed error.
+    Sim {
+        /// Stable machine-readable kind (`"watchdog"`, `"fault"`,
+        /// `"deadlock"`, `"bad-program"`, `"config"`).
+        kind: &'static str,
+        /// The full human-readable error.
+        message: String,
+    },
+    /// The run completed but the final memory image failed the host-side
+    /// verifier.
+    Verify {
+        /// First mismatch description.
+        message: String,
+    },
+    /// The job panicked; the pool isolated it.
+    Panic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl JobError {
+    /// Stable machine-readable kind for the result table.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Sim { kind, .. } => kind,
+            JobError::Verify { .. } => "verify",
+            JobError::Panic { .. } => "panic",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            JobError::Sim { message, .. }
+            | JobError::Verify { message }
+            | JobError::Panic { message } => message,
+        }
+    }
+
+    /// Maps a simulator error to its stable kind string.
+    pub fn from_sim(err: &SimError) -> JobError {
+        let kind = match err {
+            SimError::Watchdog { .. } => "watchdog",
+            SimError::Fault { .. } => "fault",
+            SimError::Deadlock { .. } => "deadlock",
+            SimError::BadProgram { .. } => "bad-program",
+            SimError::Config { .. } => "config",
+        };
+        JobError::Sim { kind, message: err.to_string() }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+/// One grid point's spec plus its result.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The point that ran.
+    pub spec: JobSpec,
+    /// Run statistics, or why the point failed.
+    pub result: Result<RunStats, JobError>,
+    /// Whether the application artifact came from the cache. Depends on
+    /// scheduling, so it feeds telemetry only — never the result table.
+    pub cache_hit: bool,
+}
+
+/// A completed sweep: every job outcome (sorted by job id) plus
+/// scheduling-dependent telemetry.
+///
+/// The split matters for reproducibility: [`SweepOutcome::results_json`]
+/// and [`SweepOutcome::results_csv`] derive only from specs and
+/// deterministic simulation results, so they are byte-identical across
+/// worker counts and submission orders. Wall-clock, throughput, and
+/// cache-hit telemetry live in separate accessors (and
+/// [`SweepOutcome::telemetry_json`]) because they legitimately vary from
+/// run to run.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Outcomes sorted by job id.
+    pub jobs: Vec<JobOutcome>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time for the whole sweep.
+    pub wall: Duration,
+    /// Artifact-cache hits.
+    pub cache_hits: u64,
+    /// Artifact-cache misses (builds performed).
+    pub cache_misses: u64,
+}
+
+impl SweepOutcome {
+    /// Jobs that completed and verified.
+    pub fn ok_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.result.is_ok()).count()
+    }
+
+    /// Jobs that failed (simulator error, verify mismatch, or panic).
+    pub fn failed_count(&self) -> usize {
+        self.jobs.len() - self.ok_count()
+    }
+
+    /// Simulated cycles summed over successful jobs.
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.jobs.iter().filter_map(|j| j.result.as_ref().ok()).map(|s| s.cycles).sum()
+    }
+
+    /// Jobs completed per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.jobs.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated cycles per wall-clock second — the sweep engine's
+    /// headline throughput number.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total_sim_cycles() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The deterministic result table as JSON (schema `mtsim-sweep/v1`).
+    ///
+    /// Contains only data that is a pure function of the job specs and the
+    /// (deterministic) simulations: byte-identical for the same grid at
+    /// any worker count. Telemetry is deliberately excluded; see
+    /// [`SweepOutcome::telemetry_json`].
+    pub fn results_json(&self) -> String {
+        let mut j = JsonBuilder::new();
+        j.begin_object();
+        j.key("schema").string("mtsim-sweep/v1");
+        j.key("jobs").begin_array();
+        for job in &self.jobs {
+            let s = &job.spec;
+            j.begin_object();
+            j.key("id").u64(s.id as u64);
+            j.key("app").string(s.app.name());
+            j.key("model").string(s.model.name());
+            j.key("scale").string(s.scale.name());
+            j.key("procs").u64(s.procs as u64);
+            j.key("threads").u64(s.threads_per_proc as u64);
+            j.key("latency").u64(s.latency);
+            j.key("seed").u64(s.seed);
+            j.key("drop_rate").f64(s.drop_rate);
+            match &job.result {
+                Ok(r) => {
+                    j.key("status").string("ok");
+                    j.key("cycles").u64(r.cycles);
+                    j.key("instructions").u64(r.instructions);
+                    j.key("busy").u64(r.busy);
+                    j.key("idle").u64(r.idle);
+                    j.key("overhead").u64(r.overhead);
+                    j.key("stalls").u64(r.stalls);
+                    j.key("switches_taken").u64(r.switches_taken);
+                    j.key("switches_skipped").u64(r.switches_skipped);
+                    j.key("forced_switches").u64(r.forced_switches);
+                    j.key("reads_issued").u64(r.reads_issued);
+                    j.key("retries").u64(r.retries);
+                    j.key("timeouts").u64(r.timeouts);
+                    j.key("utilization").f64(r.utilization());
+                }
+                Err(e) => {
+                    j.key("status").string("error");
+                    j.key("error_kind").string(e.kind());
+                    j.key("error").string(e.message());
+                }
+            }
+            j.end();
+        }
+        j.end();
+        j.key("summary").begin_object();
+        j.key("total").u64(self.jobs.len() as u64);
+        j.key("ok").u64(self.ok_count() as u64);
+        j.key("failed").u64(self.failed_count() as u64);
+        j.key("sim_cycles").u64(self.total_sim_cycles());
+        j.end();
+        j.end();
+        j.finish()
+    }
+
+    /// The deterministic result table as CSV (same fields and the same
+    /// determinism contract as [`SweepOutcome::results_json`]).
+    pub fn results_csv(&self) -> String {
+        let mut out = String::from(
+            "id,app,model,scale,procs,threads,latency,seed,drop_rate,status,cycles,instructions,\
+             busy,idle,overhead,stalls,switches_taken,switches_skipped,forced_switches,\
+             reads_issued,retries,timeouts,utilization,error_kind\n",
+        );
+        for job in &self.jobs {
+            let s = &job.spec;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},",
+                s.id,
+                s.app.name(),
+                s.model.name(),
+                s.scale.name(),
+                s.procs,
+                s.threads_per_proc,
+                s.latency,
+                s.seed,
+                s.drop_rate
+            ));
+            match &job.result {
+                Ok(r) => out.push_str(&format!(
+                    "ok,{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
+                    r.cycles,
+                    r.instructions,
+                    r.busy,
+                    r.idle,
+                    r.overhead,
+                    r.stalls,
+                    r.switches_taken,
+                    r.switches_skipped,
+                    r.forced_switches,
+                    r.reads_issued,
+                    r.retries,
+                    r.timeouts,
+                    r.utilization()
+                )),
+                Err(e) => {
+                    out.push_str(&format!("error,,,,,,,,,,,,,,{}\n", e.kind()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Scheduling-dependent telemetry as JSON: wall-clock, throughput,
+    /// worker count, cache statistics. Varies run to run by design — keep
+    /// it out of golden files.
+    pub fn telemetry_json(&self) -> String {
+        let mut j = JsonBuilder::new();
+        j.begin_object();
+        j.key("workers").u64(self.workers as u64);
+        j.key("wall_ms").f64(self.wall.as_secs_f64() * 1e3);
+        j.key("jobs").u64(self.jobs.len() as u64);
+        j.key("ok").u64(self.ok_count() as u64);
+        j.key("failed").u64(self.failed_count() as u64);
+        j.key("jobs_per_sec").f64(self.jobs_per_sec());
+        j.key("sim_cycles_per_sec").f64(self.sim_cycles_per_sec());
+        j.key("cache_hits").u64(self.cache_hits);
+        j.key("cache_misses").u64(self.cache_misses);
+        j.end();
+        j.finish()
+    }
+
+    /// One-line human summary for stderr.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} jobs ({} ok, {} failed) in {:.2}s on {} worker(s): {:.1} jobs/s, {:.2e} sim-cycles/s, cache {}/{} hits",
+            self.jobs.len(),
+            self.ok_count(),
+            self.failed_count(),
+            self.wall.as_secs_f64(),
+            self.workers,
+            self.jobs_per_sec(),
+            self.sim_cycles_per_sec(),
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    fn outcome_with(results: Vec<Result<RunStats, JobError>>) -> SweepOutcome {
+        let spec = SweepSpec { threads: vec![1; results.len()], ..SweepSpec::default() };
+        let specs = spec.expand();
+        SweepOutcome {
+            jobs: specs
+                .into_iter()
+                .zip(results)
+                .map(|(spec, result)| JobOutcome { spec, result, cache_hit: false })
+                .collect(),
+            workers: 1,
+            wall: Duration::from_millis(10),
+            cache_hits: 0,
+            cache_misses: 1,
+        }
+    }
+
+    #[test]
+    fn json_carries_ok_and_error_rows() {
+        let ok = RunStats { processors: 2, cycles: 100, busy: 150, ..RunStats::default() };
+        let err = JobError::Sim { kind: "watchdog", message: "expired".into() };
+        let out = outcome_with(vec![Ok(ok), Err(err)]);
+        let json = out.results_json();
+        assert!(json.contains(r#""schema":"mtsim-sweep/v1""#));
+        assert!(json.contains(r#""status":"ok""#));
+        assert!(json.contains(r#""cycles":100"#));
+        assert!(json.contains(r#""utilization":0.75"#));
+        assert!(json.contains(r#""error_kind":"watchdog""#));
+        assert!(json.contains(r#""summary":{"total":2,"ok":1,"failed":1"#));
+        // Telemetry stays out of the deterministic table.
+        assert!(!json.contains("wall"));
+        assert!(!json.contains("cache"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_job_plus_header() {
+        let ok = RunStats { processors: 1, cycles: 5, ..RunStats::default() };
+        let out = outcome_with(vec![Ok(ok), Err(JobError::Panic { message: "boom".into() })]);
+        let csv = out.results_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let cols = lines[0].split(',').count();
+        assert!(lines[1..].iter().all(|l| l.split(',').count() == cols));
+        assert!(lines[2].contains("error") && lines[2].ends_with("panic"));
+    }
+
+    #[test]
+    fn counters_and_throughput() {
+        let ok = RunStats { cycles: 1000, ..RunStats::default() };
+        let out = outcome_with(vec![Ok(ok), Ok(ok), Err(JobError::Verify { message: "m".into() })]);
+        assert_eq!(out.ok_count(), 2);
+        assert_eq!(out.failed_count(), 1);
+        assert_eq!(out.total_sim_cycles(), 2000);
+        assert!(out.jobs_per_sec() > 0.0);
+        assert!(out.telemetry_json().contains(r#""workers":1"#));
+    }
+}

@@ -1,0 +1,375 @@
+//! Declarative sweep specifications and their expansion into jobs.
+
+use mtsim_apps::{AppKind, Scale};
+use mtsim_core::{MachineConfig, SwitchModel};
+use mtsim_mem::FaultConfig;
+
+/// A declarative experiment grid: the cartesian product of every axis,
+/// one job per point.
+///
+/// Axes the paper sweeps (DESIGN.md §7): application, switch model,
+/// processor count `P`, multithreading level `T`, and round-trip latency
+/// `L`. On top of those the fault-injection layer (§13) adds a seed axis
+/// and a reply-drop-rate axis, so reliability experiments fit the same
+/// grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Applications to run.
+    pub apps: Vec<AppKind>,
+    /// Context-switch models.
+    pub models: Vec<SwitchModel>,
+    /// Processor counts.
+    pub procs: Vec<usize>,
+    /// Multithreading levels (threads per processor).
+    pub threads: Vec<usize>,
+    /// Round-trip shared-memory latencies in cycles.
+    pub latencies: Vec<u64>,
+    /// Fault-schedule seeds. Ignored unless a drop rate is non-zero.
+    pub seeds: Vec<u64>,
+    /// Reply drop rates (0.0 disables fault injection for that point).
+    pub drop_rates: Vec<f64>,
+    /// Workload scale preset.
+    pub scale: Scale,
+    /// Watchdog limit per job, in cycles.
+    pub max_cycles: u64,
+    /// Retry budget per shared request under fault injection.
+    pub max_retries: u32,
+}
+
+/// Watchdog default: generous enough for every `Small`-scale table run.
+pub const DEFAULT_MAX_CYCLES: u64 = 300_000_000;
+
+impl Default for SweepSpec {
+    fn default() -> SweepSpec {
+        SweepSpec {
+            apps: vec![AppKind::Sieve],
+            models: vec![SwitchModel::SwitchOnLoad],
+            procs: vec![2],
+            threads: vec![1, 2],
+            latencies: vec![200],
+            seeds: vec![0],
+            drop_rates: vec![0.0],
+            scale: Scale::Small,
+            max_cycles: DEFAULT_MAX_CYCLES,
+            max_retries: 8,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Sets one axis or scalar from its spec-file/CLI key. Lists are
+    /// comma-separated; integer axes also accept `LO-HI` ranges
+    /// (`t = 1-8`); `apps`/`models` accept `all`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending key/value.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        let value = value.trim();
+        match key {
+            "apps" | "app" => {
+                self.apps = if value == "all" {
+                    AppKind::ALL.to_vec()
+                } else {
+                    value
+                        .split(',')
+                        .map(|s| {
+                            AppKind::from_name(s.trim())
+                                .ok_or_else(|| format!("unknown app {:?}", s.trim()))
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+            }
+            "models" | "model" => {
+                self.models = if value == "all" {
+                    SwitchModel::ALL.to_vec()
+                } else {
+                    value
+                        .split(',')
+                        .map(|s| {
+                            SwitchModel::from_name(s.trim())
+                                .ok_or_else(|| format!("unknown model {:?}", s.trim()))
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+            }
+            "p" | "procs" => self.procs = parse_usize_list(value).map_err(|e| ctx(key, &e))?,
+            "t" | "threads" => self.threads = parse_usize_list(value).map_err(|e| ctx(key, &e))?,
+            "latency" | "latencies" => {
+                self.latencies = parse_u64_list(value).map_err(|e| ctx(key, &e))?
+            }
+            "seeds" | "seed" => self.seeds = parse_u64_list(value).map_err(|e| ctx(key, &e))?,
+            "drop" | "drop-rates" => {
+                self.drop_rates = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse::<f64>().map_err(|_| ctx(key, &format!("bad float {s:?}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "scale" => {
+                self.scale =
+                    Scale::from_name(value).ok_or_else(|| format!("unknown scale {value:?}"))?;
+            }
+            "max-cycles" => {
+                self.max_cycles =
+                    value.parse().map_err(|_| ctx(key, &format!("bad integer {value:?}")))?;
+            }
+            "max-retries" => {
+                self.max_retries =
+                    value.parse().map_err(|_| ctx(key, &format!("bad integer {value:?}")))?;
+            }
+            _ => return Err(format!("unknown sweep key {key:?}")),
+        }
+        Ok(())
+    }
+
+    /// Parses a spec file: one `key = value` per line, `#` comments and
+    /// blank lines ignored. Keys are the same as [`SweepSpec::set`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line or unknown key/value.
+    pub fn parse_file(text: &str) -> Result<SweepSpec, String> {
+        let mut spec = SweepSpec::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+            spec.set(key.trim(), value.trim()).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        }
+        Ok(spec)
+    }
+
+    /// Checks every axis is non-empty and every value is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the empty or invalid axis.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, empty) in [
+            ("apps", self.apps.is_empty()),
+            ("models", self.models.is_empty()),
+            ("procs", self.procs.is_empty()),
+            ("threads", self.threads.is_empty()),
+            ("latencies", self.latencies.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+            ("drop rates", self.drop_rates.is_empty()),
+        ] {
+            if empty {
+                return Err(format!("sweep axis {name:?} is empty"));
+            }
+        }
+        if self.procs.contains(&0) || self.threads.contains(&0) {
+            return Err("processor and thread counts must be >= 1".into());
+        }
+        if self.drop_rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return Err("drop rates must lie in [0, 1]".into());
+        }
+        Ok(())
+    }
+
+    /// Number of grid points without materializing them.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+            * self.models.len()
+            * self.procs.len()
+            * self.threads.len()
+            * self.latencies.len()
+            * self.seeds.len()
+            * self.drop_rates.len()
+    }
+
+    /// True when the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into concrete jobs in deterministic nested-axis
+    /// order (app, model, P, T, latency, seed, drop rate), assigning
+    /// sequential ids. The id — not submission or completion order — keys
+    /// the result table, so the output is reproducible at any worker
+    /// count.
+    pub fn expand(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(self.len());
+        for &app in &self.apps {
+            for &model in &self.models {
+                for &procs in &self.procs {
+                    for &threads_per_proc in &self.threads {
+                        for &latency in &self.latencies {
+                            for &seed in &self.seeds {
+                                for &drop_rate in &self.drop_rates {
+                                    jobs.push(JobSpec {
+                                        id: jobs.len(),
+                                        app,
+                                        model,
+                                        procs,
+                                        threads_per_proc,
+                                        latency,
+                                        seed,
+                                        drop_rate,
+                                        scale: self.scale,
+                                        max_cycles: self.max_cycles,
+                                        max_retries: self.max_retries,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+fn ctx(key: &str, e: &str) -> String {
+    format!("key {key:?}: {e}")
+}
+
+fn parse_usize_list(value: &str) -> Result<Vec<usize>, String> {
+    parse_u64_list(value).map(|v| v.into_iter().map(|n| n as usize).collect())
+}
+
+/// `"1,2,4"` and `"1-4"` (inclusive) both work, and mix: `"1,4-6"`.
+fn parse_u64_list(value: &str) -> Result<Vec<u64>, String> {
+    let mut out = Vec::new();
+    for part in value.split(',') {
+        let part = part.trim();
+        if let Some((lo, hi)) = part.split_once('-') {
+            let lo: u64 = lo.trim().parse().map_err(|_| format!("bad range {part:?}"))?;
+            let hi: u64 = hi.trim().parse().map_err(|_| format!("bad range {part:?}"))?;
+            if lo > hi {
+                return Err(format!("empty range {part:?}"));
+            }
+            out.extend(lo..=hi);
+        } else {
+            out.push(part.parse().map_err(|_| format!("bad integer {part:?}"))?);
+        }
+    }
+    Ok(out)
+}
+
+/// One fully-specified grid point, ready to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Position in the result table (assigned at expansion; callers
+    /// building explicit job lists must keep ids unique).
+    pub id: usize,
+    /// Application.
+    pub app: AppKind,
+    /// Context-switch model.
+    pub model: SwitchModel,
+    /// Processors.
+    pub procs: usize,
+    /// Threads per processor.
+    pub threads_per_proc: usize,
+    /// Round-trip latency in cycles (forced to 0 under `Ideal`).
+    pub latency: u64,
+    /// Fault-schedule seed.
+    pub seed: u64,
+    /// Reply drop rate; 0.0 disables fault injection.
+    pub drop_rate: f64,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Watchdog limit in cycles.
+    pub max_cycles: u64,
+    /// Retry budget under fault injection.
+    pub max_retries: u32,
+}
+
+impl JobSpec {
+    /// Total threads the application image must be built for.
+    pub fn nthreads(&self) -> usize {
+        self.procs * self.threads_per_proc
+    }
+
+    /// The machine configuration for this point.
+    pub fn config(&self) -> MachineConfig {
+        let latency = if self.model == SwitchModel::Ideal { 0 } else { self.latency };
+        let mut cfg =
+            MachineConfig::new(self.model, self.procs, self.threads_per_proc).with_latency(latency);
+        cfg.max_cycles = self.max_cycles;
+        if self.drop_rate > 0.0 {
+            cfg = cfg.with_faults(FaultConfig {
+                seed: self.seed,
+                drop_rate: self.drop_rate,
+                max_retries: self.max_retries,
+                ..FaultConfig::default()
+            });
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_expands_to_two_jobs_with_sequential_ids() {
+        let jobs = SweepSpec::default().expand();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, 0);
+        assert_eq!(jobs[1].id, 1);
+        assert_eq!(jobs[0].threads_per_proc, 1);
+        assert_eq!(jobs[1].threads_per_proc, 2);
+    }
+
+    #[test]
+    fn set_parses_lists_ranges_and_all() {
+        let mut s = SweepSpec::default();
+        s.set("apps", "sieve, sor").unwrap();
+        assert_eq!(s.apps, vec![AppKind::Sieve, AppKind::Sor]);
+        s.set("models", "all").unwrap();
+        assert_eq!(s.models.len(), SwitchModel::ALL.len());
+        s.set("t", "1,4-6").unwrap();
+        assert_eq!(s.threads, vec![1, 4, 5, 6]);
+        s.set("scale", "tiny").unwrap();
+        assert_eq!(s.scale, Scale::Tiny);
+        assert!(s.set("apps", "nonesuch").is_err());
+        assert!(s.set("frobnicate", "1").is_err());
+        assert!(s.set("t", "6-4").is_err());
+    }
+
+    #[test]
+    fn parse_file_honors_comments_and_overrides() {
+        let text = "# demo sweep\napps = sieve\nt = 1-3  # inline comment\n\nlatency = 50,100\n";
+        let s = SweepSpec::parse_file(text).unwrap();
+        assert_eq!(s.apps, vec![AppKind::Sieve]);
+        assert_eq!(s.threads, vec![1, 2, 3]);
+        assert_eq!(s.latencies, vec![50, 100]);
+        assert!(SweepSpec::parse_file("no equals here").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_out_of_range() {
+        let mut s = SweepSpec::default();
+        assert!(s.validate().is_ok());
+        s.procs.clear();
+        assert!(s.validate().is_err());
+        let s = SweepSpec { threads: vec![0], ..SweepSpec::default() };
+        assert!(s.validate().is_err());
+        let s = SweepSpec { drop_rates: vec![1.5], ..SweepSpec::default() };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn config_zeroes_latency_for_ideal_and_wires_faults() {
+        let spec = SweepSpec {
+            models: vec![SwitchModel::Ideal],
+            drop_rates: vec![0.25],
+            seeds: vec![7],
+            ..SweepSpec::default()
+        };
+        let job = spec.expand()[0];
+        let cfg = job.config();
+        assert_eq!(cfg.latency, 0);
+        assert!(cfg.fault.is_active());
+        assert_eq!(cfg.fault.seed, 7);
+    }
+}

@@ -14,4 +14,5 @@ pub use mtsim_lang as lang;
 pub use mtsim_mem as mem;
 pub use mtsim_opt as opt;
 pub use mtsim_rt as rt;
+pub use mtsim_sweep as sweep;
 pub use mtsim_trace as trace;

@@ -1,0 +1,145 @@
+//! End-to-end contracts of the sweep engine (DESIGN.md §14): the result
+//! table is a pure function of the spec — independent of worker count,
+//! submission order, and artifact-cache state — and a single poisoned
+//! grid point degrades to one failing row, never a dead sweep.
+
+use mtsim::apps::{AppKind, Scale};
+use mtsim::core::SwitchModel;
+use mtsim::sweep::{run_job_specs, run_jobs, run_sweep, JobSpec, SweepOpts, SweepSpec};
+
+/// A grid that exercises both program variants (grouped and ungrouped),
+/// several cache keys, and the fault-injection path.
+fn faulty_grid() -> SweepSpec {
+    SweepSpec {
+        apps: vec![AppKind::Sieve, AppKind::Sor],
+        models: vec![SwitchModel::SwitchOnLoad, SwitchModel::ExplicitSwitch],
+        procs: vec![2],
+        threads: vec![1, 2],
+        seeds: vec![1, 2],
+        drop_rates: vec![0.0, 0.05],
+        scale: Scale::Tiny,
+        ..SweepSpec::default()
+    }
+}
+
+fn opts(workers: usize) -> SweepOpts {
+    SweepOpts { workers: Some(workers), ..SweepOpts::default() }
+}
+
+/// Deterministic submission shuffle: interleave front and back halves so
+/// neighbouring ids land on different workers.
+fn shuffled(mut jobs: Vec<JobSpec>) -> Vec<JobSpec> {
+    let back = jobs.split_off(jobs.len() / 2);
+    let mut out = Vec::with_capacity(jobs.len() + back.len());
+    for (a, b) in back.iter().zip(jobs.iter()) {
+        out.push(*a);
+        out.push(*b);
+    }
+    out.extend(back.iter().skip(jobs.len()).copied());
+    out
+}
+
+#[test]
+fn parallel_shuffled_sweep_is_byte_identical_to_serial() {
+    let spec = faulty_grid();
+    let serial = run_sweep(&spec, &opts(1)).unwrap();
+    let parallel = run_job_specs(shuffled(spec.expand()), &opts(8));
+
+    assert_eq!(serial.jobs.len(), 32);
+    assert_eq!(serial.results_json(), parallel.results_json());
+    assert_eq!(serial.results_csv(), parallel.results_csv());
+    // The fault seeds are live, not decorative: every drop_rate > 0 row
+    // must have gone through at least one retry somewhere in the grid.
+    let retries: u64 = serial
+        .jobs
+        .iter()
+        .filter(|j| j.spec.drop_rate > 0.0)
+        .filter_map(|j| j.result.as_ref().ok())
+        .map(|s| s.retries)
+        .sum();
+    assert!(retries > 0, "fault injection never fired");
+}
+
+#[test]
+fn cached_artifacts_do_not_change_results() {
+    // One sweep sharing artifacts across seeds vs. one fresh single-job
+    // sweep per grid point (cold cache each time): identical stats.
+    let spec = SweepSpec {
+        apps: vec![AppKind::Sieve],
+        models: vec![SwitchModel::ExplicitSwitch],
+        procs: vec![2],
+        threads: vec![2],
+        seeds: vec![0, 1, 2],
+        drop_rates: vec![0.02],
+        scale: Scale::Tiny,
+        ..SweepSpec::default()
+    };
+    let shared = run_sweep(&spec, &opts(2)).unwrap();
+    assert!(shared.cache_hits > 0, "grid never reused an artifact");
+
+    for job in &shared.jobs {
+        let fresh = run_job_specs(vec![job.spec], &opts(1));
+        assert_eq!(fresh.jobs.len(), 1);
+        assert_eq!(
+            job.result.as_ref().unwrap(),
+            fresh.jobs[0].result.as_ref().unwrap(),
+            "cached run diverged from cold run for job {}",
+            job.spec.id
+        );
+    }
+}
+
+#[test]
+fn pool_isolates_a_panicking_job() {
+    let items: Vec<u32> = (0..16).collect();
+    let ran = run_jobs(items, 4, |_, &n| {
+        if n == 7 {
+            panic!("poisoned job {n}");
+        }
+        n * 2
+    });
+    assert_eq!(ran.len(), 16);
+    for (n, result) in ran {
+        if n == 7 {
+            let message = result.unwrap_err();
+            assert!(message.contains("poisoned job 7"), "lost panic payload: {message}");
+        } else {
+            assert_eq!(result.unwrap(), n * 2);
+        }
+    }
+}
+
+#[test]
+fn failing_grid_point_is_one_failing_row() {
+    // drop_rate 1.0 with a tiny retry budget can never complete a remote
+    // read; those points must fail typed while the rest of the grid
+    // finishes normally.
+    let spec = SweepSpec {
+        apps: vec![AppKind::Sieve],
+        models: vec![SwitchModel::SwitchOnLoad],
+        procs: vec![2],
+        threads: vec![2],
+        seeds: vec![7],
+        drop_rates: vec![0.0, 1.0],
+        scale: Scale::Tiny,
+        max_retries: 2,
+        ..SweepSpec::default()
+    };
+    let out = run_sweep(&spec, &opts(2)).unwrap();
+    assert_eq!(out.jobs.len(), 2);
+    assert_eq!(out.ok_count(), 1);
+    assert_eq!(out.failed_count(), 1);
+
+    let ok = &out.jobs[0];
+    assert_eq!(ok.spec.drop_rate, 0.0);
+    assert!(ok.result.is_ok());
+
+    let failed = &out.jobs[1];
+    assert_eq!(failed.spec.drop_rate, 1.0);
+    let err = failed.result.as_ref().unwrap_err();
+    assert_eq!(err.kind(), "fault", "unexpected error: {err}");
+
+    // The failure shows up as a typed row in both renderings.
+    assert!(out.results_json().contains("\"status\":\"error\""));
+    assert!(out.results_csv().lines().any(|l| l.contains(",error,")));
+}
