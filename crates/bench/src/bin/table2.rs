@@ -3,17 +3,8 @@
 //!
 //! Usage: `cargo run --release -p mtsim-bench --bin table2 [--scale tiny|small|full]`
 
-use mtsim_bench::report::run_length_text;
-use mtsim_bench::{experiments, scale_from_args};
-use mtsim_core::SwitchModel;
+use mtsim_bench::{scale_from_args, tables};
 
 fn main() {
-    let scale = scale_from_args();
-    println!("Table 2: run-lengths between context switches, switch-on-load (scale {scale:?})\n");
-    let rows = experiments::run_length_table(scale, SwitchModel::SwitchOnLoad);
-    let runs = rows.iter().map(|r| r.hist.count().to_string()).collect();
-    print!("{}", run_length_text(&rows, ("runs", runs)));
-    println!(
-        "\n(paper: sor 39% ones + 39% twos; blkmat exceptionally long mean; locus/mp3d short)"
-    );
+    print!("{}", tables::table2_text(scale_from_args()));
 }

@@ -3,14 +3,8 @@
 //!
 //! Usage: `cargo run --release -p mtsim-bench --bin table3 [--scale tiny|small|full] [--jobs N]`
 
-use mtsim_bench::report::mt_table_text;
-use mtsim_bench::{experiments, jobs_from_args, scale_from_args};
-use mtsim_core::SwitchModel;
+use mtsim_bench::{jobs_from_args, scale_from_args, tables};
 
 fn main() {
-    let scale = scale_from_args();
-    println!("Table 3: switch-on-load — multithreading needed per efficiency (scale {scale:?})\n");
-    let rows = experiments::mt_table(scale, SwitchModel::SwitchOnLoad, jobs_from_args());
-    print!("{}", mt_table_text(&rows, None));
-    println!("\n(paper: sieve reaches 90% at T=11; sor and ugray plateau near 60%)");
+    print!("{}", tables::table3_text(scale_from_args(), jobs_from_args()));
 }

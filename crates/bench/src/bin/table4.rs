@@ -3,15 +3,8 @@
 //!
 //! Usage: `cargo run --release -p mtsim-bench --bin table4 [--scale tiny|small|full]`
 
-use mtsim_bench::report::run_length_text;
-use mtsim_bench::{experiments, scale_from_args};
-use mtsim_core::SwitchModel;
+use mtsim_bench::{scale_from_args, tables};
 
 fn main() {
-    let scale = scale_from_args();
-    println!("Table 4: run-lengths after grouping, explicit-switch (scale {scale:?})\n");
-    let rows = experiments::run_length_table(scale, SwitchModel::ExplicitSwitch);
-    let grouping = rows.iter().map(|r| format!("{:.2}", r.grouping)).collect();
-    print!("{}", run_length_text(&rows, ("grouping", grouping)));
-    println!("\n(paper: sor and water benefit most; short runs eliminated; locus barely grouped at 1.05)");
+    print!("{}", tables::table4_text(scale_from_args()));
 }

@@ -3,22 +3,8 @@
 //!
 //! Usage: `cargo run --release -p mtsim-bench --bin table5 [--scale tiny|small|full] [--jobs N]`
 
-use mtsim_bench::report::mt_table_text;
-use mtsim_bench::{experiments, jobs_from_args, scale_from_args};
-use mtsim_core::SwitchModel;
+use mtsim_bench::{jobs_from_args, scale_from_args, tables};
 
 fn main() {
-    let scale = scale_from_args();
-    println!("Table 5: explicit-switch — multithreading needed per efficiency (scale {scale:?})\n");
-    let penalties = experiments::reorganization_penalty(scale);
-    let rows = experiments::mt_table(scale, SwitchModel::ExplicitSwitch, jobs_from_args());
-    let cells = rows
-        .iter()
-        .map(|row| {
-            let pen = penalties.iter().find(|(a, _)| *a == row.app).map(|&(_, p)| p).unwrap_or(0.0);
-            format!("{:+.1}%", pen * 100.0)
-        })
-        .collect();
-    print!("{}", mt_table_text(&rows, Some(("penalty", cells))));
-    println!("\n(paper: all apps except locus reach 70%+ with T<=14; penalty a few percent)");
+    print!("{}", tables::table5_text(scale_from_args(), jobs_from_args()));
 }

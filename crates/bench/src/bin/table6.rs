@@ -4,35 +4,8 @@
 //!
 //! Usage: `cargo run --release -p mtsim-bench --bin table6 [--scale tiny|small|full]`
 
-use mtsim_bench::report::{level, pct, TextTable};
-use mtsim_bench::{experiments, scale_from_args};
+use mtsim_bench::{scale_from_args, tables};
 
 fn main() {
-    let scale = scale_from_args();
-    println!("Table 6: inter-block grouping estimate, explicit-switch (scale {scale:?})\n");
-    let mut t = TextTable::new([
-        "app",
-        "1-line hits",
-        "grouping",
-        "revised",
-        "50%",
-        "60%",
-        "70%",
-        "80%",
-        "90%",
-    ]);
-    for row in experiments::table6(scale) {
-        t.row(
-            [
-                row.app.name().to_string(),
-                pct(row.one_line_hit_rate),
-                format!("{:.2}", row.grouping_before),
-                format!("{:.2}", row.grouping_after),
-            ]
-            .into_iter()
-            .chain(row.needed.iter().map(|&n| level(n))),
-        );
-    }
-    print!("{}", t.render());
-    println!("\n(paper: ugray 42% hits, grouping 1.3 -> 1.9; locus 84% hits, 1.05 -> 6.6)");
+    print!("{}", tables::table6_text(scale_from_args()));
 }

@@ -3,25 +3,8 @@
 //!
 //! Usage: `cargo run --release -p mtsim-bench --bin table7 [--scale tiny|small|full]`
 
-use mtsim_bench::report::{pct, TextTable};
-use mtsim_bench::{experiments, scale_from_args};
+use mtsim_bench::{scale_from_args, tables};
 
 fn main() {
-    let scale = scale_from_args();
-    println!(
-        "Section 6.1: bandwidth demand (bits/cycle/processor) and hit rates (scale {scale:?})\n"
-    );
-    let mut t =
-        TextTable::new(["app", "uncached b/c", "hit rate", "cached b/c", "inval msgs/kcycle"]);
-    for row in experiments::table7(scale) {
-        t.row([
-            row.app.name().to_string(),
-            format!("{:.2}", row.uncached_bits_per_cycle),
-            pct(row.hit_rate),
-            format!("{:.2}", row.cached_bits_per_cycle),
-            format!("{:.2}", row.invalidations_per_kcycle),
-        ]);
-    }
-    print!("{}", t.render());
-    println!("\n(paper: >90% hits and <4.0 bits/cycle for every app except mp3d)");
+    print!("{}", tables::table7_text(scale_from_args()));
 }

@@ -2,16 +2,8 @@
 //!
 //! Usage: `cargo run --release -p mtsim-bench --bin table8 [--scale tiny|small|full] [--jobs N]`
 
-use mtsim_bench::report::mt_table_text;
-use mtsim_bench::{experiments, jobs_from_args, scale_from_args};
-use mtsim_core::SwitchModel;
+use mtsim_bench::{jobs_from_args, scale_from_args, tables};
 
 fn main() {
-    let scale = scale_from_args();
-    println!(
-        "Table 8: conditional-switch — multithreading needed per efficiency (scale {scale:?})\n"
-    );
-    let rows = experiments::mt_table(scale, SwitchModel::ConditionalSwitch, jobs_from_args());
-    print!("{}", mt_table_text(&rows, None));
-    println!("\n(paper: 80%+ efficiency with 6 or fewer threads for the cache-friendly apps)");
+    print!("{}", tables::table8_text(scale_from_args(), jobs_from_args()));
 }

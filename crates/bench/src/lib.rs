@@ -22,6 +22,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod tables;
 
 use mtsim_apps::Scale;
 

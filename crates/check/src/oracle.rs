@@ -1,0 +1,437 @@
+//! The sequential reference interpreter — the architectural oracle.
+//!
+//! This is a from-scratch second implementation of the ISA's *architectural*
+//! semantics: no event loop, no pipeline, no caches, no latency, no switch
+//! models. Threads are interpreted one instruction at a time in strict
+//! round-robin order (thread 0, 1, …, n-1, 0, …), which is fair — spin
+//! loops around barriers and ticket locks always make progress — and
+//! timing-free. For the race-free programs the fuzzer generates (disjoint
+//! private stores, commutative fetch-and-add accumulation, lock-protected
+//! read-modify-writes), the final memory image is interleaving-independent,
+//! so *any* fair schedule here must agree with *every* engine schedule.
+//!
+//! The engine in `mtsim-core` writes a loaded value into its destination
+//! register at issue time and applies shared mutations in global time
+//! order; architecturally that is exactly "read memory now", which is what
+//! this interpreter does. Anything the two disagree on is a bug in one of
+//! them — that disagreement is the entire point of `mtsim-check`.
+
+use mtsim_asm::Program;
+use mtsim_core::ThreadImage;
+use mtsim_isa::{AluOp, BCond, CmpOp, FReg, FpuOp, Inst, Pc, Reg, Space};
+use mtsim_mem::SharedMemory;
+
+/// Why the oracle could not finish a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The simulated program performed a wild access or ran off the end of
+    /// its code (mirrors `SimError::BadProgram`).
+    BadProgram {
+        /// Thread id.
+        thread: usize,
+        /// Program counter of the offending instruction.
+        pc: u64,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The instruction budget ran out before every thread halted — the
+    /// oracle's stand-in for deadlock/livelock detection.
+    Fuel {
+        /// Instructions executed before giving up.
+        executed: u64,
+    },
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::BadProgram { thread, pc, detail } => {
+                write!(f, "oracle: bad program (thread {thread}, pc {pc}): {detail}")
+            }
+            OracleError::Fuel { executed } => {
+                write!(f, "oracle: fuel exhausted after {executed} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// The oracle's verdict: final shared memory, final per-thread
+/// architectural state, and the dynamic instruction count.
+#[derive(Debug)]
+pub struct OracleRun {
+    /// Shared memory at completion.
+    pub shared: SharedMemory,
+    /// Final state of every thread, indexed by thread id.
+    pub threads: Vec<ThreadImage>,
+    /// Total instructions executed across all threads.
+    pub instructions: u64,
+}
+
+/// One interpreted thread.
+struct OThread {
+    regs: [i64; Reg::COUNT],
+    fregs: [f64; FReg::COUNT],
+    local: Vec<u64>,
+    pc: Pc,
+    halted: bool,
+}
+
+impl OThread {
+    fn new(tid: i64, nthreads: i64, local_words: u64) -> OThread {
+        let mut regs = [0i64; Reg::COUNT];
+        regs[Reg::TID.index()] = tid;
+        regs[Reg::NTHREADS.index()] = nthreads;
+        OThread {
+            regs,
+            fregs: [0.0; FReg::COUNT],
+            local: vec![0; local_words as usize],
+            pc: 0,
+            halted: false,
+        }
+    }
+
+    fn rget(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    fn rset(&mut self, r: Reg, v: i64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+}
+
+/// Runs `program` on `nthreads` threads over `shared`, round-robin one
+/// instruction at a time, until every thread halts.
+///
+/// `local_words` must match the engine's sizing rule
+/// (`config.local_mem_words.max(program.local_words())`) for local-memory
+/// images to be comparable.
+///
+/// # Errors
+///
+/// [`OracleError::BadProgram`] on wild accesses or a runaway program
+/// counter; [`OracleError::Fuel`] when `fuel` instructions were executed
+/// without reaching global halt.
+pub fn run_oracle(
+    program: &Program,
+    shared: SharedMemory,
+    nthreads: usize,
+    local_words: u64,
+    fuel: u64,
+) -> Result<OracleRun, OracleError> {
+    let mut shared = shared;
+    let mut threads: Vec<OThread> =
+        (0..nthreads).map(|t| OThread::new(t as i64, nthreads as i64, local_words)).collect();
+    let mut executed: u64 = 0;
+    let mut live = nthreads;
+
+    while live > 0 {
+        for tid in 0..nthreads {
+            if threads[tid].halted {
+                continue;
+            }
+            if executed >= fuel {
+                return Err(OracleError::Fuel { executed });
+            }
+            executed += 1;
+            step(program, &mut threads[tid], &mut shared, tid)?;
+            if threads[tid].halted {
+                live -= 1;
+            }
+        }
+    }
+
+    let threads = threads
+        .into_iter()
+        .map(|t| ThreadImage { regs: t.regs, fregs: t.fregs.map(f64::to_bits), local: t.local })
+        .collect();
+    Ok(OracleRun { shared, threads, instructions: executed })
+}
+
+fn bad(tid: usize, pc: Pc, detail: String) -> OracleError {
+    OracleError::BadProgram { thread: tid, pc: pc as u64, detail }
+}
+
+/// Effective word address, rejecting negatives.
+fn ea(th: &OThread, tid: usize, pc: Pc, base: Reg, offset: i64) -> Result<u64, OracleError> {
+    let a = th.rget(base).wrapping_add(offset);
+    if a < 0 {
+        Err(bad(tid, pc, format!("negative effective address {a}")))
+    } else {
+        Ok(a as u64)
+    }
+}
+
+fn shared_read(sh: &SharedMemory, tid: usize, pc: Pc, addr: u64) -> Result<u64, OracleError> {
+    sh.try_read(addr)
+        .ok_or_else(|| bad(tid, pc, format!("shared load out of range: word {addr}")))
+}
+
+fn shared_write(sh: &mut SharedMemory, tid: usize, pc: Pc, addr: u64, v: u64) -> Result<(), OracleError> {
+    sh.try_write(addr, v)
+        .ok_or_else(|| bad(tid, pc, format!("shared store out of range: word {addr}")))
+}
+
+fn local_read(th: &OThread, tid: usize, pc: Pc, addr: u64) -> Result<u64, OracleError> {
+    th.local
+        .get(addr as usize)
+        .copied()
+        .ok_or_else(|| bad(tid, pc, format!("local load out of range: word {addr}")))
+}
+
+fn local_write(th: &mut OThread, tid: usize, pc: Pc, addr: u64, v: u64) -> Result<(), OracleError> {
+    match th.local.get_mut(addr as usize) {
+        Some(slot) => {
+            *slot = v;
+            Ok(())
+        }
+        None => Err(bad(tid, pc, format!("local store out of range: word {addr}"))),
+    }
+}
+
+/// Integer ALU semantics (the ISA spec: wrapping arithmetic, division by
+/// zero yields 0, shift counts masked to 6 bits, comparisons yield 0/1).
+fn alu(op: AluOp, a: i64, b: i64) -> i64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => ((a as u64) << (b as u64 & 63)) as i64,
+        AluOp::Srl => ((a as u64) >> (b as u64 & 63)) as i64,
+        AluOp::Sra => a >> (b as u64 & 63),
+        AluOp::Slt => (a < b) as i64,
+        AluOp::Sle => (a <= b) as i64,
+        AluOp::Seq => (a == b) as i64,
+        AluOp::Sne => (a != b) as i64,
+    }
+}
+
+/// Executes one instruction of one thread.
+fn step(
+    program: &Program,
+    th: &mut OThread,
+    shared: &mut SharedMemory,
+    tid: usize,
+) -> Result<(), OracleError> {
+    let pc = th.pc;
+    if pc as usize >= program.len() {
+        return Err(bad(tid, pc, "program counter ran past the end of the code".to_string()));
+    }
+    let inst = *program.inst(pc);
+    th.pc += 1;
+    match inst {
+        Inst::Alu { op, rd, rs, rt } => {
+            let v = alu(op, th.rget(rs), th.rget(rt));
+            th.rset(rd, v);
+        }
+        Inst::AluI { op, rd, rs, imm } => {
+            let v = alu(op, th.rget(rs), imm);
+            th.rset(rd, v);
+        }
+        Inst::Fpu { op, fd, fs, ft } => {
+            let a = th.fregs[fs.index()];
+            let b = th.fregs[ft.index()];
+            th.fregs[fd.index()] = match op {
+                FpuOp::Add => a + b,
+                FpuOp::Sub => a - b,
+                FpuOp::Mul => a * b,
+                FpuOp::Div => a / b,
+                FpuOp::Min => a.min(b),
+                FpuOp::Max => a.max(b),
+            };
+        }
+        Inst::FpuCmp { op, rd, fs, ft } => {
+            let a = th.fregs[fs.index()];
+            let b = th.fregs[ft.index()];
+            let v = match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+            };
+            th.rset(rd, v as i64);
+        }
+        Inst::FLi { fd, val } => th.fregs[fd.index()] = val,
+        Inst::CvtIF { fd, rs } => th.fregs[fd.index()] = th.rget(rs) as f64,
+        Inst::CvtFI { rd, fs } => {
+            let v = th.fregs[fs.index()] as i64;
+            th.rset(rd, v);
+        }
+        Inst::MovIF { fd, rs } => th.fregs[fd.index()] = f64::from_bits(th.rget(rs) as u64),
+        Inst::MovFI { rd, fs } => {
+            let v = th.fregs[fs.index()].to_bits() as i64;
+            th.rset(rd, v);
+        }
+        Inst::FSqrt { fd, fs } => th.fregs[fd.index()] = th.fregs[fs.index()].sqrt(),
+
+        Inst::Load { space, rd, base, offset, .. } => {
+            let a = ea(th, tid, pc, base, offset)?;
+            let raw = match space {
+                Space::Local => local_read(th, tid, pc, a)?,
+                Space::Shared => shared_read(shared, tid, pc, a)?,
+            };
+            th.rset(rd, raw as i64);
+        }
+        Inst::Store { space, rs, base, offset, .. } => {
+            let a = ea(th, tid, pc, base, offset)?;
+            let v = th.rget(rs) as u64;
+            match space {
+                Space::Local => local_write(th, tid, pc, a, v)?,
+                Space::Shared => shared_write(shared, tid, pc, a, v)?,
+            }
+        }
+        Inst::FLoad { space, fd, base, offset } => {
+            let a = ea(th, tid, pc, base, offset)?;
+            let raw = match space {
+                Space::Local => local_read(th, tid, pc, a)?,
+                Space::Shared => shared_read(shared, tid, pc, a)?,
+            };
+            th.fregs[fd.index()] = f64::from_bits(raw);
+        }
+        Inst::FStore { space, fs, base, offset } => {
+            let a = ea(th, tid, pc, base, offset)?;
+            let v = th.fregs[fs.index()].to_bits();
+            match space {
+                Space::Local => local_write(th, tid, pc, a, v)?,
+                Space::Shared => shared_write(shared, tid, pc, a, v)?,
+            }
+        }
+        Inst::LoadPair { space, fd1, fd2, base, offset } => {
+            let a = ea(th, tid, pc, base, offset)?;
+            let (r1, r2) = match space {
+                Space::Local => (local_read(th, tid, pc, a)?, local_read(th, tid, pc, a + 1)?),
+                Space::Shared => {
+                    (shared_read(shared, tid, pc, a)?, shared_read(shared, tid, pc, a + 1)?)
+                }
+            };
+            th.fregs[fd1.index()] = f64::from_bits(r1);
+            th.fregs[fd2.index()] = f64::from_bits(r2);
+        }
+        Inst::StorePair { space, fs1, fs2, base, offset } => {
+            let a = ea(th, tid, pc, base, offset)?;
+            let (v1, v2) = (th.fregs[fs1.index()].to_bits(), th.fregs[fs2.index()].to_bits());
+            match space {
+                Space::Local => {
+                    local_write(th, tid, pc, a, v1)?;
+                    local_write(th, tid, pc, a + 1, v2)?;
+                }
+                Space::Shared => {
+                    shared_write(shared, tid, pc, a, v1)?;
+                    shared_write(shared, tid, pc, a + 1, v2)?;
+                }
+            }
+        }
+        Inst::FetchAdd { rd, rs, base, offset, .. } => {
+            let a = ea(th, tid, pc, base, offset)?;
+            let inc = th.rget(rs);
+            let old = shared
+                .try_fetch_add(a, inc)
+                .ok_or_else(|| bad(tid, pc, format!("fetch-and-add out of range: word {a}")))?;
+            th.rset(rd, old as i64);
+        }
+
+        Inst::Branch { cond, rs, rt, target } => {
+            let a = th.rget(rs);
+            let b = th.rget(rt);
+            let take = match cond {
+                BCond::Eq => a == b,
+                BCond::Ne => a != b,
+                BCond::Lt => a < b,
+                BCond::Le => a <= b,
+                BCond::Gt => a > b,
+                BCond::Ge => a >= b,
+            };
+            if take {
+                th.pc = target.pc();
+            }
+        }
+        Inst::Jump { target } => th.pc = target.pc(),
+        // Architecturally invisible: scheduling hints and timing-only
+        // instructions.
+        Inst::SetPrio { .. } | Inst::Switch | Inst::Nop => {}
+        Inst::Halt => th.halted = true,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsim_asm::ProgramBuilder;
+    use mtsim_isa::AccessHint;
+
+    #[test]
+    fn single_thread_arithmetic_and_memory() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.def_i("x", 7);
+        b.assign(x, x.get() * 6);
+        b.store_shared(b.const_i(0), x.get());
+        b.store_local(b.const_i(1), x.get() + 1);
+        let v = b.def_i("v", b.load_local(b.const_i(1)));
+        b.store_shared(b.const_i(1), v.get());
+        let prog = b.finish();
+
+        let run = run_oracle(&prog, SharedMemory::new(4), 1, 256, 1_000_000).unwrap();
+        assert_eq!(run.shared.read_i64(0), 42);
+        assert_eq!(run.shared.read_i64(1), 43);
+    }
+
+    #[test]
+    fn round_robin_finishes_barriers() {
+        // A fetch-and-add arrival plus a spin on the generation word: the
+        // round-robin schedule must let the last arriver release everyone.
+        let mut layout = mtsim_asm::SharedLayout::new();
+        let a = layout.alloc("a", 1) as i64;
+        let out = layout.alloc("out", 1) as i64;
+        let bar = mtsim_rt::Barrier::alloc(&mut layout, "bar", 4);
+        let mut b = ProgramBuilder::new("t");
+        b.fetch_add_discard(b.const_i(a), b.const_i(1), AccessHint::Data);
+        bar.emit_wait(&mut b);
+        b.if_(b.tid().eq(0), |b| {
+            let v = b.def_i("v", b.load_shared(b.const_i(a)));
+            b.store_shared(b.const_i(out), v.get());
+        });
+        let prog = b.finish();
+
+        let run = run_oracle(&prog, SharedMemory::new(layout.size()), 4, 256, 1_000_000).unwrap();
+        assert_eq!(run.shared.read_i64(out as u64), 4);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let mut b = ProgramBuilder::new("t");
+        b.while_(b.const_i(0).eq(0), |_| {});
+        let prog = b.finish();
+        let err = run_oracle(&prog, SharedMemory::new(1), 1, 256, 1000).unwrap_err();
+        assert!(matches!(err, OracleError::Fuel { .. }));
+    }
+
+    #[test]
+    fn wild_access_is_bad_program() {
+        let mut b = ProgramBuilder::new("t");
+        b.store_shared(b.const_i(999_999), b.const_i(1));
+        let prog = b.finish();
+        let err = run_oracle(&prog, SharedMemory::new(4), 1, 256, 1000).unwrap_err();
+        assert!(matches!(err, OracleError::BadProgram { .. }));
+    }
+}

@@ -1,0 +1,270 @@
+//! Greedy shrinking minimizer for failing [`TestProgram`]s.
+//!
+//! Given a case and a predicate "this case still fails", the minimizer
+//! repeatedly tries structural reductions — drop a statement, hoist a
+//! block's contents into its parent, collapse an expression to one of its
+//! operands or to a constant, reduce the thread count or a trip count —
+//! and keeps any reduction that both shrinks the case and preserves the
+//! failure. It runs to a fixpoint (no candidate accepted) or until the
+//! evaluation budget is spent, whichever comes first.
+//!
+//! The predicate is arbitrary, so the same machinery minimizes genuine
+//! differential failures (predicate = `check_program(..).is_err()`) and
+//! the deliberately-miscompiled fixture (predicate = "the broken image
+//! still diverges from the oracle").
+
+use crate::generate::{Cnd, Stmt, TestProgram, FE, IE};
+
+/// Hard cap on predicate evaluations per [`shrink`] call. Each evaluation
+/// may run the engine many times, so this bounds total shrink cost.
+pub const DEFAULT_BUDGET: usize = 600;
+
+/// Minimizes `tp` while `still_fails` holds, evaluating the predicate at
+/// most `budget` times. Returns the smallest failing case found (possibly
+/// `tp` itself). The caller must ensure `still_fails(tp)` is true on
+/// entry — the minimizer only ever returns cases for which the predicate
+/// was observed to hold.
+pub fn shrink(
+    tp: &TestProgram,
+    budget: usize,
+    mut still_fails: impl FnMut(&TestProgram) -> bool,
+) -> TestProgram {
+    let mut best = tp.clone();
+    let mut evals = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if evals >= budget {
+                return best;
+            }
+            if metric(&cand) >= metric(&best) {
+                continue;
+            }
+            evals += 1;
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+                break; // restart candidate enumeration from the new best
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Shrink-ordering metric: AST size first, then thread count, then
+/// sizing parameters — strictly decreasing along accepted candidates, so
+/// the greedy loop terminates.
+pub fn metric(tp: &TestProgram) -> u64 {
+    fn ie(e: &IE) -> u64 {
+        1 + match e {
+            IE::Bin(_, a, b) => ie(a) + ie(b),
+            IE::LoadIn(i) => ie(i),
+            IE::FromF(f) => fe(f),
+            IE::CmpF(_, a, b) => fe(a) + fe(b),
+            _ => 0,
+        }
+    }
+    fn fe(e: &FE) -> u64 {
+        1 + match e {
+            FE::Bin(_, a, b) => fe(a) + fe(b),
+            FE::LoadIn(i) => ie(i),
+            FE::FromI(i) => ie(i),
+            FE::Sqrt(f) => fe(f),
+            _ => 0,
+        }
+    }
+    fn stmt(s: &Stmt) -> u64 {
+        2 + match s {
+            Stmt::AssignI(_, e)
+            | Stmt::StoreOut(_, e)
+            | Stmt::StoreLocal(_, e)
+            | Stmt::FaaAcc(_, e) => ie(e),
+            Stmt::AssignF(_, e) | Stmt::StoreOutF(_, e) | Stmt::StoreLocalF(_, e) => fe(e),
+            Stmt::If(c, a, b) => {
+                ie(&c.a) + ie(&c.b) + block(a) + block(b)
+            }
+            Stmt::For(t, b) => *t as u64 + block(b),
+            Stmt::Critical(..) | Stmt::Barrier => 4,
+        }
+    }
+    fn block(stmts: &[Stmt]) -> u64 {
+        stmts.iter().map(stmt).sum()
+    }
+    block(&tp.stmts) * 16 + tp.nthreads as u64 * 2 + tp.in_words + tp.local_words
+}
+
+/// All one-step reductions of a case, roughly largest-effect first.
+fn candidates(tp: &TestProgram) -> Vec<TestProgram> {
+    let mut out = Vec::new();
+    if tp.nthreads > 1 {
+        out.push(tp.with_nthreads(1));
+        if tp.nthreads > 2 {
+            out.push(tp.with_nthreads(2));
+        }
+    }
+    for stmts in block_variants(&tp.stmts) {
+        out.push(TestProgram { stmts, ..tp.clone() });
+    }
+    if tp.in_words > 1 {
+        out.push(TestProgram { in_words: tp.in_words / 2, ..tp.clone() });
+    }
+    if tp.local_words > 1 {
+        out.push(TestProgram { local_words: tp.local_words / 2, ..tp.clone() });
+    }
+    out
+}
+
+/// All blocks obtainable from `stmts` by one reduction anywhere in it.
+fn block_variants(stmts: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    for i in 0..stmts.len() {
+        // Drop statement i entirely.
+        let mut dropped = stmts.to_vec();
+        dropped.remove(i);
+        out.push(dropped);
+
+        // Reductions inside statement i.
+        for s in stmt_variants(&stmts[i]) {
+            let mut v = stmts.to_vec();
+            v[i] = s;
+            out.push(v);
+        }
+
+        // Hoist block contents into the parent.
+        match &stmts[i] {
+            Stmt::If(_, a, b) => {
+                out.push(splice(stmts, i, a.clone()));
+                if !b.is_empty() {
+                    out.push(splice(stmts, i, b.clone()));
+                }
+            }
+            Stmt::For(_, body) => out.push(splice(stmts, i, body.clone())),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn splice(stmts: &[Stmt], i: usize, replacement: Vec<Stmt>) -> Vec<Stmt> {
+    let mut v = stmts.to_vec();
+    v.splice(i..=i, replacement);
+    v
+}
+
+/// One-step reductions of a single statement (keeping its kind).
+fn stmt_variants(s: &Stmt) -> Vec<Stmt> {
+    match s {
+        Stmt::AssignI(v, e) => ie_variants(e).into_iter().map(|e| Stmt::AssignI(*v, e)).collect(),
+        Stmt::AssignF(v, e) => fe_variants(e).into_iter().map(|e| Stmt::AssignF(*v, e)).collect(),
+        Stmt::StoreOut(a, e) => ie_variants(e).into_iter().map(|e| Stmt::StoreOut(*a, e)).collect(),
+        Stmt::StoreOutF(a, e) => {
+            fe_variants(e).into_iter().map(|e| Stmt::StoreOutF(*a, e)).collect()
+        }
+        Stmt::StoreLocal(a, e) => {
+            ie_variants(e).into_iter().map(|e| Stmt::StoreLocal(*a, e)).collect()
+        }
+        Stmt::StoreLocalF(a, e) => {
+            fe_variants(e).into_iter().map(|e| Stmt::StoreLocalF(*a, e)).collect()
+        }
+        Stmt::FaaAcc(a, e) => ie_variants(e).into_iter().map(|e| Stmt::FaaAcc(*a, e)).collect(),
+        Stmt::If(c, a, b) => {
+            let mut out = Vec::new();
+            for ca in ie_variants(&c.a) {
+                out.push(Stmt::If(Cnd { a: ca, ..c.clone() }, a.clone(), b.clone()));
+            }
+            for cb in ie_variants(&c.b) {
+                out.push(Stmt::If(Cnd { b: cb, ..c.clone() }, a.clone(), b.clone()));
+            }
+            for va in block_variants(a) {
+                out.push(Stmt::If(c.clone(), va, b.clone()));
+            }
+            for vb in block_variants(b) {
+                out.push(Stmt::If(c.clone(), a.clone(), vb));
+            }
+            out
+        }
+        Stmt::For(t, body) => {
+            let mut out = Vec::new();
+            if *t > 1 {
+                out.push(Stmt::For(1, body.clone()));
+            }
+            for v in block_variants(body) {
+                out.push(Stmt::For(*t, v));
+            }
+            out
+        }
+        Stmt::Critical(..) | Stmt::Barrier => Vec::new(),
+    }
+}
+
+/// One-step reductions of an integer expression.
+fn ie_variants(e: &IE) -> Vec<IE> {
+    match e {
+        IE::Const(_) => Vec::new(),
+        IE::Bin(_, a, b) => vec![(**a).clone(), (**b).clone(), IE::Const(1)],
+        IE::LoadIn(i) => vec![(**i).clone(), IE::Const(1)],
+        IE::FromF(_) | IE::CmpF(..) | IE::FetchAddOut(..) => vec![IE::Const(1)],
+        _ => vec![IE::Const(1)],
+    }
+}
+
+/// One-step reductions of a floating-point expression.
+fn fe_variants(e: &FE) -> Vec<FE> {
+    match e {
+        FE::Const(_) => Vec::new(),
+        FE::Bin(_, a, b) => vec![(**a).clone(), (**b).clone(), FE::Const(1.0)],
+        FE::Sqrt(f) => vec![(**f).clone(), FE::Const(1.0)],
+        _ => vec![FE::Const(1.0)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+
+    #[test]
+    fn metric_strictly_decreases_on_candidates_accepted_by_shrink() {
+        let tp = generate(11);
+        let m0 = metric(&tp);
+        for c in candidates(&tp) {
+            // Not all candidates are smaller (that's fine: shrink() filters),
+            // but every removal-of-a-statement candidate must be.
+            if c.stmts.len() < tp.stmts.len() && c.nthreads == tp.nthreads {
+                assert!(metric(&c) < m0);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_to_empty_when_everything_fails() {
+        // A predicate that always holds should drive the case to (near)
+        // nothing: no statements, one thread.
+        let tp = generate(3);
+        let min = shrink(&tp, 10_000, |_| true);
+        assert!(min.stmts.is_empty(), "left: {:?}", min.stmts);
+        assert_eq!(min.nthreads, 1);
+    }
+
+    #[test]
+    fn shrink_respects_the_predicate() {
+        // Predicate: case still contains at least one FaaAcc statement.
+        fn has_faa(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::FaaAcc(..) => true,
+                Stmt::If(_, a, b) => has_faa(a) || has_faa(b),
+                Stmt::For(_, b) => has_faa(b),
+                _ => false,
+            })
+        }
+        let mut tp = generate(5);
+        tp.stmts.push(Stmt::FaaAcc(0, IE::Tid));
+        let min = shrink(&tp, 10_000, |c| has_faa(&c.stmts));
+        assert!(has_faa(&min.stmts));
+        // Everything not needed for the predicate is gone.
+        assert_eq!(min.stmts.len(), 1, "left: {:?}", min.stmts);
+        assert_eq!(min.nthreads, 1);
+    }
+}

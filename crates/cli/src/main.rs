@@ -16,7 +16,15 @@
 //!             [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]
 //!             [--scale S] [--max-cycles N] [--max-retries N]
 //!             [--jobs N] [--out results.json] [--csv results.csv] [--quiet]
+//! mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N]
 //! ```
+//!
+//! `check` is the differential-testing driver (DESIGN.md §15): it
+//! generates `--fuzz` random race-free programs from `--seed` (decimal or
+//! `0x` hex), runs each across every switch model × latency × grouping ×
+//! fault seed on the work-stealing pool, and compares every run's final
+//! architectural state against the sequential reference interpreter.
+//! Failures are minimized before being reported.
 //!
 //! `sweep` runs the cartesian grid on the work-stealing pool
 //! (`mtsim-sweep`). List axes are comma-separated; integer axes accept
@@ -52,7 +60,7 @@ const EXIT_USAGE: i32 = 2;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault flags]\n  mtsim sweep [--spec FILE] [--apps LIST|all] [--models LIST|all] [--p LIST]\n              [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]\n              [--scale S] [--max-cycles N] [--max-retries N]\n              [--jobs N] [--out FILE.json] [--csv FILE.csv] [--quiet]\n\napps: {}\nmodels: {}",
+        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault flags]\n  mtsim sweep [--spec FILE] [--apps LIST|all] [--models LIST|all] [--p LIST]\n              [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]\n              [--scale S] [--max-cycles N] [--max-retries N]\n              [--jobs N] [--out FILE.json] [--csv FILE.csv] [--quiet]\n  mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N]\n\napps: {}\nmodels: {}",
         AppKind::ALL.map(|a| a.name()).join(", "),
         SwitchModel::ALL.map(|m| m.name()).join(", ")
     );
@@ -234,7 +242,45 @@ fn main() {
             ],
             &["quiet"],
         )),
+        Some("check") => cmd_check(&Args::parse(&["fuzz", "seed", "jobs", "shrink-budget"], &[])),
         _ => usage(),
+    }
+}
+
+/// Parses an unsigned seed, accepting both decimal and `0x` hex.
+fn parse_seed(flag: &str, v: &str) -> u64 {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.unwrap_or_else(|_| bad_usage(&format!("bad value '{v}' for --{flag}")))
+}
+
+fn cmd_check(args: &Args) {
+    let mut cfg = mtsim_check::FuzzConfig::default();
+    if let Some(v) = args.get("fuzz") {
+        cfg.cases = parse_num("fuzz", v);
+    }
+    if let Some(v) = args.get("seed") {
+        cfg.seed = parse_seed("seed", v);
+    }
+    if let Some(v) = args.get("jobs") {
+        cfg.jobs = parse_num("jobs", v);
+        if cfg.jobs == 0 {
+            bad_usage("--jobs must be >= 1");
+        }
+    }
+    if let Some(v) = args.get("shrink-budget") {
+        cfg.shrink_budget = parse_num("shrink-budget", v);
+    }
+    if cfg.cases == 0 {
+        bad_usage("--fuzz must be >= 1");
+    }
+
+    let summary = mtsim_check::fuzz(cfg);
+    print!("{}", summary.report());
+    if !summary.passed() {
+        std::process::exit(EXIT_RUN_FAILED);
     }
 }
 

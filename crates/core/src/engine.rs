@@ -94,6 +94,22 @@ pub struct FinishedRun {
     pub result: RunResult,
     /// Shared memory at completion.
     pub shared: SharedMemory,
+    /// Final architectural state of every thread, indexed by thread id
+    /// (used by `mtsim-check` to compare runs against the reference
+    /// interpreter).
+    pub threads: Vec<ThreadImage>,
+}
+
+/// The architectural state a thread retires with: both register files
+/// (floats as bit patterns, so NaNs compare exactly) and private memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadImage {
+    /// Integer registers (`r0` always zero).
+    pub regs: [i64; mtsim_isa::Reg::COUNT],
+    /// FP registers as IEEE-754 bit patterns.
+    pub fregs: [u64; mtsim_isa::FReg::COUNT],
+    /// Local (private) memory words.
+    pub local: Vec<u64>,
 }
 
 impl Machine {
@@ -181,7 +197,14 @@ impl Machine {
             heap.push(Reverse((0, seq, p)));
             seq += 1;
         }
+        #[cfg(feature = "debug-invariants")]
+        let mut last_event_time: u64 = 0;
         while let Some(Reverse((t, _, p))) = heap.pop() {
+            #[cfg(feature = "debug-invariants")]
+            {
+                assert!(t >= last_event_time, "event clock ran backwards: {t} < {last_event_time}");
+                last_event_time = t;
+            }
             self.procs[p].time = self.procs[p].time.max(t);
             let peek = heap.peek().map(|r| r.0 .0).unwrap_or(u64::MAX);
             match self.step_proc(p, peek)? {
@@ -214,7 +237,16 @@ impl Machine {
             instructions: self.counters.instructions,
             trace: self.trace,
         };
-        Ok(FinishedRun { result, shared: self.shared })
+        let threads = self
+            .threads
+            .into_iter()
+            .map(|t| ThreadImage {
+                regs: t.regs,
+                fregs: t.fregs.map(f64::to_bits),
+                local: t.local,
+            })
+            .collect();
+        Ok(FinishedRun { result, shared: self.shared, threads })
     }
 
     /// Executes processor `p` from its current time until it must hand
@@ -233,7 +265,19 @@ impl Machine {
         let fault = &mut self.fault;
         let proc = &mut self.procs[p];
 
+        #[cfg(feature = "debug-invariants")]
+        let mut last_time = proc.time;
         loop {
+            #[cfg(feature = "debug-invariants")]
+            {
+                assert!(
+                    proc.time >= last_time,
+                    "processor {p} clock ran backwards: {} < {last_time}",
+                    proc.time
+                );
+                last_time = proc.time;
+                assert_step_invariants(p, proc, threads, config);
+            }
             if proc.time > config.max_cycles {
                 return Err(SimError::Watchdog {
                     max_cycles: config.max_cycles,
@@ -270,6 +314,13 @@ impl Machine {
                     None => {
                         let wake =
                             proc.queue.iter().map(|&t| threads[t].wake).min().expect("nonempty");
+                        // No lost wakeups: a sleep is only legal when every
+                        // resident thread really wakes strictly later.
+                        #[cfg(feature = "debug-invariants")]
+                        assert!(
+                            wake > now,
+                            "lost wakeup on processor {p}: thread runnable at {now} but not picked"
+                        );
                         proc.stats.idle += wake - proc.time;
                         proc.time = wake;
                         return Ok(StepOut::Reschedule(wake));
@@ -301,7 +352,7 @@ impl Machine {
             if !threads[tid].pending.is_empty() {
                 let th = &mut threads[tid];
                 if proc.time >= th.outstanding {
-                    th.pending.clear();
+                    th.reap_all_pending();
                 } else {
                     let iu = inst.int_uses();
                     let fu = inst.fp_uses();
@@ -469,8 +520,66 @@ fn read_dispatch(
 fn push_pending(th: &mut Thread, dests: &[(bool, u8)], reply: u64) {
     for &(fp, idx) in dests {
         th.pending.push(PendingReg { fp, idx, ready: reply });
+        th.issued_entries += 1;
     }
     th.outstanding = th.outstanding.max(reply);
+}
+
+/// The `debug-invariants` per-step machine check: run before every
+/// instruction of every processor batch. Verifies the thread-state
+/// machine, queue integrity, scoreboard-entry sanity, and the
+/// issued-vs-retired conservation law for split-phase requests.
+#[cfg(feature = "debug-invariants")]
+fn assert_step_invariants(p: usize, proc: &Proc, threads: &[Thread], config: &MachineConfig) {
+    let lo = p * config.threads_per_proc;
+    let hi = lo + config.threads_per_proc;
+    for &q in &proc.queue {
+        assert!(
+            (lo..hi).contains(&q),
+            "processor {p} queue holds foreign thread {q} (residents are {lo}..{hi})"
+        );
+    }
+    if let Some(cur) = proc.current {
+        assert!((lo..hi).contains(&cur), "processor {p} is running foreign thread {cur}");
+    }
+    for tid in lo..hi {
+        let th = &threads[tid];
+        let queued = proc.queue.iter().filter(|&&t| t == tid).count();
+        let running = usize::from(proc.current == Some(tid));
+        if th.halted {
+            assert!(
+                queued + running == 0,
+                "halted thread {tid} still schedulable on processor {p}"
+            );
+        } else {
+            assert!(
+                queued + running == 1,
+                "thread {tid} appears {} times in processor {p}'s scheduler (want exactly 1)",
+                queued + running
+            );
+        }
+        for pend in &th.pending {
+            let limit =
+                if pend.fp { mtsim_isa::FReg::COUNT } else { mtsim_isa::Reg::COUNT };
+            assert!(
+                (pend.idx as usize) < limit,
+                "thread {tid}: pending entry names register {} out of range",
+                pend.idx
+            );
+            assert!(
+                pend.fp || pend.idx != 0,
+                "thread {tid}: r0 can never carry an in-flight value"
+            );
+        }
+        assert!(
+            th.issued_entries == th.reaped_entries + th.pending.len() as u64,
+            "thread {tid}: scoreboard conservation broken \
+             (issued {} != reaped {} + live {})",
+            th.issued_entries,
+            th.reaped_entries,
+            th.pending.len()
+        );
+    }
 }
 
 /// Executes one instruction, advancing the processor clock.

@@ -46,7 +46,7 @@ mod model;
 mod stats;
 mod thread;
 
-pub use engine::{FinishedRun, Machine};
+pub use engine::{FinishedRun, Machine, ThreadImage};
 pub use model::{MachineConfig, SwitchModel};
 pub use stats::{DeadlockWaiter, ProcStats, RunLengthHist, RunResult, RunStats, SimError};
 

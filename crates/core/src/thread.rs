@@ -64,6 +64,12 @@ pub(crate) struct Thread {
     /// exactly, so absent an external shared-memory write this thread will
     /// spin forever.
     pub spin_confirmed: bool,
+    /// Scoreboard entries ever created for this thread (issue side of the
+    /// conservation law checked under `debug-invariants`).
+    pub issued_entries: u64,
+    /// Scoreboard entries ever removed — arrived, killed by an overwrite,
+    /// or flushed at a switch point (retire side of the conservation law).
+    pub reaped_entries: u64,
 }
 
 /// The architectural state that determines a thread's future behavior,
@@ -110,6 +116,8 @@ impl Thread {
             seen_mutations: 0,
             spin_snapshot: None,
             spin_confirmed: false,
+            issued_entries: 0,
+            reaped_entries: 0,
         }
     }
 
@@ -232,7 +240,15 @@ impl Thread {
     /// Removes `(fp, idx)` from the pending set (an overwrite kills the
     /// in-flight value).
     pub fn kill_pending(&mut self, fp: bool, idx: u8) {
+        let before = self.pending.len();
         self.pending.retain(|p| !(p.fp == fp && p.idx == idx));
+        self.reaped_entries += (before - self.pending.len()) as u64;
+    }
+
+    /// Flushes every pending entry (all replies have arrived).
+    pub fn reap_all_pending(&mut self) {
+        self.reaped_entries += self.pending.len() as u64;
+        self.pending.clear();
     }
 
     /// Drops pending entries that have arrived by `now`; returns the
@@ -244,7 +260,9 @@ impl Thread {
         int_uses: &[Reg],
         fp_uses: &[FReg],
     ) -> Option<u64> {
+        let before = self.pending.len();
         self.pending.retain(|p| p.ready > now);
+        self.reaped_entries += (before - self.pending.len()) as u64;
         let mut needed: Option<u64> = None;
         for p in &self.pending {
             let used = if p.fp {
@@ -261,6 +279,7 @@ impl Thread {
 
     /// Resets the split-phase group state (at a switch point).
     pub fn clear_group(&mut self) {
+        self.reaped_entries += self.pending.len() as u64;
         self.pending.clear();
         self.pending_miss = false;
         self.group_reads = 0;

@@ -1,0 +1,356 @@
+//! Property tests for the hand-rolled JSON writer (`mtsim_sweep::json`).
+//!
+//! The writer's claim is "syntactically valid JSON, deterministic bytes".
+//! These tests check the first half mechanically: a naive, strict JSON
+//! parser written right here (no external deps, per DESIGN.md §9)
+//! re-reads randomly generated documents and must recover the original
+//! values exactly. The parser rejects unescaped control characters in
+//! strings, so any escaping gap in the writer shows up as a parse error
+//! rather than a silently mangled value.
+
+use mtsim_rng::Rng;
+use mtsim_sweep::json::JsonBuilder;
+
+// ------------------------------------------------------------ naive parser
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser { chars: text.chars().peekable() }
+    }
+
+    fn parse_document(text: &str) -> Result<Value, String> {
+        let mut p = Parser::new(text);
+        let v = p.value()?;
+        p.skip_ws();
+        match p.chars.next() {
+            None => Ok(v),
+            Some(c) => Err(format!("trailing garbage starting at '{c}'")),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected '{want}', found {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, rest: &str, v: Value) -> Result<Value, String> {
+        for want in rest.chars() {
+            self.expect(want)?;
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.chars.peek().copied() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('n') => self.literal("null", Value::Null),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at start of value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&'}') {
+            self.chars.next();
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Obj(members)),
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&']') {
+            self.chars.next();
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Arr(items)),
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(s),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('b') => s.push('\u{8}'),
+                    Some('f') => s.push('\u{c}'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('t') => s.push('\t'),
+                    Some('u') => {
+                        let hi = self.hex4()?;
+                        let cp = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.hex4()?;
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        s.push(char::from_u32(cp).ok_or("bad \\u escape")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                // The strictness that matters: RFC 8259 forbids raw
+                // control characters inside strings.
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err(format!("unescaped control character {:#x}", c as u32));
+                }
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.chars.next().ok_or("truncated \\u escape")?;
+            v = v * 16 + c.to_digit(16).ok_or(format!("bad hex digit '{c}'"))?;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let mut text = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                text.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        text.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+// -------------------------------------------------------------- generators
+
+/// A character palette weighted toward the hostile cases: quotes,
+/// backslashes, every control character, and some multibyte text.
+fn random_string(rng: &mut Rng) -> String {
+    let len = rng.below(12) as usize;
+    (0..len)
+        .map(|_| match rng.below(8) {
+            0 => '"',
+            1 => '\\',
+            2 => char::from_u32(rng.below(0x20) as u32).unwrap(),
+            3 => ['/', '\u{7f}', '\u{2028}', 'é', '日', '🚀'][rng.below(6) as usize],
+            _ => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+        })
+        .collect()
+}
+
+fn random_finite_f64(rng: &mut Rng) -> f64 {
+    match rng.below(6) {
+        0 => 0.0,
+        1 => -0.0,
+        2 => rng.range_f64(-1e6, 1e6),
+        3 => rng.range_f64(-1.0, 1.0) * 1e300,
+        4 => f64::MIN_POSITIVE,
+        _ => f64::from_bits(rng.next_u64() & !0x7ff0_0000_0000_0000), // subnormal-ish
+    }
+}
+
+/// A random document tree; `depth` bounds nesting.
+fn random_value(rng: &mut Rng, depth: u32) -> Value {
+    let pick = if depth == 0 { rng.below(4) } else { rng.below(6) };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(rng.chance(0.5)),
+        2 => Value::Num(random_finite_f64(rng)),
+        3 => Value::Str(random_string(rng)),
+        4 => Value::Arr((0..rng.below(4)).map(|_| random_value(rng, depth - 1)).collect()),
+        _ => Value::Obj(
+            (0..rng.below(4)).map(|_| (random_string(rng), random_value(rng, depth - 1))).collect(),
+        ),
+    }
+}
+
+/// Emits a document tree through the writer under test.
+fn emit(j: &mut JsonBuilder, v: &Value) {
+    match v {
+        Value::Null => {
+            j.f64(f64::NAN); // the writer's only null spelling
+        }
+        Value::Bool(b) => {
+            j.bool(*b);
+        }
+        Value::Num(x) => {
+            j.f64(*x);
+        }
+        Value::Str(s) => {
+            j.string(s);
+        }
+        Value::Arr(items) => {
+            j.begin_array();
+            for item in items {
+                emit(j, item);
+            }
+            j.end();
+        }
+        Value::Obj(members) => {
+            j.begin_object();
+            for (k, item) in members {
+                j.key(k);
+                emit(j, item);
+            }
+            j.end();
+        }
+    }
+}
+
+/// Equality with float bit-exactness (shortest-roundtrip `Display` must
+/// re-parse to the identical bits, including the sign of zero).
+fn same(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => x.to_bits() == y.to_bits(),
+        (Value::Arr(x), Value::Arr(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(i, k)| same(i, k))
+        }
+        (Value::Obj(x), Value::Obj(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|((ka, va), (kb, vb))| ka == kb && same(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+// ------------------------------------------------------------------- tests
+
+#[test]
+fn random_strings_roundtrip_exactly() {
+    let mut rng = Rng::derive(0xB00, "json-strings");
+    for case in 0..500 {
+        let s = random_string(&mut rng);
+        let mut j = JsonBuilder::new();
+        j.string(&s);
+        let text = j.finish();
+        let parsed = Parser::parse_document(&text)
+            .unwrap_or_else(|e| panic!("case {case}: invalid JSON {text:?}: {e}"));
+        assert_eq!(parsed, Value::Str(s.clone()), "case {case}: emitted {text:?}");
+    }
+}
+
+#[test]
+fn keys_use_the_same_escaping_as_values() {
+    let mut rng = Rng::derive(0xB00, "json-keys");
+    for _ in 0..200 {
+        let k = random_string(&mut rng);
+        let mut j = JsonBuilder::new();
+        j.begin_object().key(&k).u64(1).end();
+        let text = j.finish();
+        match Parser::parse_document(&text) {
+            Ok(Value::Obj(members)) => assert_eq!(members[0].0, k, "emitted {text:?}"),
+            other => panic!("bad parse of {text:?}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn nonfinite_floats_become_null_and_finite_floats_roundtrip_bit_exactly() {
+    let mut j = JsonBuilder::new();
+    j.begin_array().f64(f64::NAN).f64(f64::INFINITY).f64(f64::NEG_INFINITY).end();
+    assert_eq!(j.finish(), "[null,null,null]");
+
+    let mut rng = Rng::derive(0xB00, "json-floats");
+    for case in 0..500 {
+        let x = random_finite_f64(&mut rng);
+        let mut j = JsonBuilder::new();
+        j.f64(x);
+        let text = j.finish();
+        match Parser::parse_document(&text) {
+            Ok(Value::Num(y)) => assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "case {case}: {x:?} emitted as {text:?} re-parsed as {y:?}"
+            ),
+            other => panic!("case {case}: {x:?} emitted as {text:?}, parsed {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn integers_roundtrip() {
+    let mut rng = Rng::derive(0xB00, "json-ints");
+    for _ in 0..200 {
+        let x = rng.next_u64() >> rng.below(64);
+        let mut j = JsonBuilder::new();
+        j.u64(x);
+        let text = j.finish();
+        // u64::MAX exceeds f64's exact-integer range; compare through the
+        // same lossy conversion the parser applies.
+        assert_eq!(Parser::parse_document(&text), Ok(Value::Num(x as f64)), "emitted {text:?}");
+    }
+}
+
+#[test]
+fn random_nested_documents_roundtrip() {
+    let mut rng = Rng::derive(0xB00, "json-docs");
+    for case in 0..300 {
+        let doc = random_value(&mut rng, 4);
+        let mut j = JsonBuilder::new();
+        emit(&mut j, &doc);
+        let text = j.finish();
+        let parsed = Parser::parse_document(&text)
+            .unwrap_or_else(|e| panic!("case {case}: invalid JSON {text:?}: {e}"));
+        assert!(same(&parsed, &doc), "case {case}:\n  doc    {doc:?}\n  text   {text:?}\n  parsed {parsed:?}");
+    }
+}

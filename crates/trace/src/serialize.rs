@@ -75,9 +75,12 @@ pub fn load_trace(text: &str) -> Result<Vec<TraceEvent>, TraceFormatError> {
             return Err(err(format!("expected 5-6 fields, found {}", fields.len())));
         }
         let parse_u64 = |f: &str| f.parse::<u64>().map_err(|_| err(format!("bad number '{f}'")));
+        // Ids are u32 in `TraceEvent`; parsing them as u64 and truncating
+        // would silently alias ids >= 2^32, so reject them instead.
+        let parse_u32 = |f: &str| f.parse::<u32>().map_err(|_| err(format!("bad id '{f}'")));
         let time = parse_u64(fields[0])?;
-        let proc = parse_u64(fields[1])? as u32;
-        let thread = parse_u64(fields[2])? as u32;
+        let proc = parse_u32(fields[1])?;
+        let thread = parse_u32(fields[2])?;
         let kind = kind_parse(fields[3]).ok_or_else(|| err(format!("bad kind '{}'", fields[3])))?;
         let addr = parse_u64(fields[4])?;
         let spin = match fields.get(5) {

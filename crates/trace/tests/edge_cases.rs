@@ -1,0 +1,173 @@
+//! Edge-case coverage for the trace toolkit: empty and single-event
+//! traces, events landing exactly on window boundaries, and every
+//! malformed-line rejection path in the text format.
+//!
+//! These lock in behavior the analysis code quietly relies on — e.g.
+//! that an empty trace yields one all-zero window rather than a panic,
+//! and that `load_trace` rejects (rather than truncates) processor ids
+//! that don't fit in `u32`.
+
+use mtsim_mem::{TraceEvent, TraceKind};
+use mtsim_trace::{
+    load_trace, reuse_profile, save_trace, stride_histogram, BandwidthProfile, CacheSweep,
+};
+
+fn ev(time: u64, kind: TraceKind, addr: u64) -> TraceEvent {
+    TraceEvent { time, proc: 0, thread: 0, kind, addr, spin: false }
+}
+
+// ---------------------------------------------------------------- bandwidth
+
+#[test]
+fn empty_trace_profile_is_one_zero_window() {
+    let p = BandwidthProfile::new(&[], 100, 4);
+    assert_eq!(p.len(), 1, "an empty trace still spans one (empty) window");
+    assert!(p.is_empty());
+    assert_eq!(p.series().collect::<Vec<_>>(), vec![0.0]);
+    assert_eq!(p.mean_bits_per_cycle(), 0.0);
+    assert_eq!(p.peak_bits_per_cycle(), 0.0);
+    assert_eq!(p.burstiness(), 0.0);
+}
+
+#[test]
+fn single_event_trace_profiles_without_panic() {
+    let events = [ev(42, TraceKind::Read, 7)];
+    let p = BandwidthProfile::new(&events, 100, 1);
+    assert_eq!(p.len(), 1);
+    assert!(!p.is_empty());
+    assert_eq!(p.peak_bits_per_cycle(), p.mean_bits_per_cycle());
+    // One busy window: peak == mean, i.e. perfectly "smooth".
+    assert!((p.burstiness() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn window_boundary_events_land_in_the_later_window() {
+    // Windows are half-open [k*w, (k+1)*w): time == k*w starts window k.
+    let events = [
+        ev(0, TraceKind::Read, 0),
+        ev(99, TraceKind::Read, 1),
+        ev(100, TraceKind::Read, 2),
+        ev(200, TraceKind::Read, 3),
+    ];
+    let p = BandwidthProfile::new(&events, 100, 1);
+    assert_eq!(p.len(), 3);
+    let bits: Vec<f64> = p.series().collect();
+    let unit = TraceKind::Read.bits() as f64 / 100.0;
+    assert!((bits[0] - 2.0 * unit).abs() < 1e-12, "window 0 holds times 0 and 99");
+    assert!((bits[1] - unit).abs() < 1e-12, "time 100 opens window 1");
+    assert!((bits[2] - unit).abs() < 1e-12, "time 200 opens window 2");
+}
+
+#[test]
+fn event_at_exact_end_of_run_does_not_overflow_window_vector() {
+    // The last event defines the run end; its window must exist even
+    // when end is an exact multiple of the window size.
+    let events = [ev(1000, TraceKind::Write, 0)];
+    let p = BandwidthProfile::new(&events, 100, 1);
+    assert_eq!(p.len(), 11);
+    assert_eq!(p.series().filter(|&b| b > 0.0).count(), 1);
+}
+
+// ------------------------------------------------------------ locality/sweep
+
+#[test]
+fn locality_profiles_of_empty_and_single_event_traces() {
+    let h = stride_histogram(&[]);
+    assert_eq!(h.total(), 0);
+    assert_eq!(h.local_fraction(), 0.0);
+    let r = reuse_profile(&[]);
+    assert_eq!(r.reuses(), 0);
+    assert_eq!(r.cold, 0);
+    assert_eq!(r.fraction_within(1000), 0.0);
+
+    // A single event has no transition and no reuse: only a cold miss.
+    let one = [ev(5, TraceKind::Read, 9)];
+    assert_eq!(stride_histogram(&one).total(), 0);
+    let r1 = reuse_profile(&one);
+    assert_eq!((r1.cold, r1.reuses()), (1, 0));
+}
+
+#[test]
+fn cache_sweep_of_an_empty_trace_is_all_zero() {
+    let sweep = CacheSweep::new(&[], 2);
+    let pt = sweep.run(mtsim_mem::CacheParams::default());
+    assert_eq!(pt.stats.hits + pt.stats.misses, 0);
+    assert_eq!(pt.estimated_bits, 0);
+    assert_eq!(pt.bits_per_cycle(0, 2), 0.0, "zero-cycle run must not divide by zero");
+}
+
+// ----------------------------------------------------------------- serialize
+
+#[test]
+fn empty_and_comment_only_inputs_parse_to_no_events() {
+    assert_eq!(load_trace("").unwrap(), vec![]);
+    assert_eq!(load_trace("\n\n").unwrap(), vec![]);
+    assert_eq!(load_trace("# a comment\n   # another\n").unwrap(), vec![]);
+}
+
+#[test]
+fn single_event_roundtrips() {
+    let events = vec![TraceEvent {
+        time: u64::MAX,
+        proc: u32::MAX,
+        thread: u32::MAX,
+        kind: TraceKind::ReadPair,
+        addr: u64::MAX,
+        spin: true,
+    }];
+    let text = save_trace(&events);
+    assert_eq!(load_trace(&text).unwrap(), events);
+}
+
+#[test]
+fn rejects_wrong_field_counts() {
+    let err = load_trace("1 0 0 r\n").unwrap_err();
+    assert_eq!(err.line, 1);
+    assert!(err.message.contains("5-6 fields"), "{}", err.message);
+
+    let err = load_trace("1 0 0 r 5 spin extra\n").unwrap_err();
+    assert!(err.message.contains("found 7"), "{}", err.message);
+}
+
+#[test]
+fn rejects_non_numeric_fields_with_line_numbers() {
+    for (text, line) in [
+        ("x 0 0 r 5\n", 1),
+        ("# ok\n1 0 0 r notanaddr\n", 2),
+        ("1 0 0 r 5\n\n-3 0 0 r 5\n", 3),
+    ] {
+        let err = load_trace(text).unwrap_err();
+        assert_eq!(err.line, line, "input {text:?}");
+        assert!(err.message.contains("bad number"), "{}", err.message);
+    }
+}
+
+#[test]
+fn rejects_ids_that_do_not_fit_in_u32() {
+    // 2^32 used to be silently truncated to processor 0; it must be an
+    // error, not an aliased id.
+    let err = load_trace("1 4294967296 0 r 5\n").unwrap_err();
+    assert!(err.message.contains("bad id"), "{}", err.message);
+    let err = load_trace("1 0 4294967296 r 5\n").unwrap_err();
+    assert!(err.message.contains("bad id"), "{}", err.message);
+    // The largest valid id still parses.
+    assert_eq!(load_trace("1 4294967295 4294967295 r 5\n").unwrap()[0].proc, u32::MAX);
+}
+
+#[test]
+fn rejects_unknown_kinds_and_flags() {
+    let err = load_trace("1 0 0 zz 5\n").unwrap_err();
+    assert!(err.message.contains("bad kind 'zz'"), "{}", err.message);
+
+    let err = load_trace("1 0 0 r 5 fast\n").unwrap_err();
+    assert!(err.message.contains("bad flag 'fast'"), "{}", err.message);
+    assert_eq!(err.to_string(), "trace line 1: bad flag 'fast'");
+}
+
+#[test]
+fn inline_comments_after_events_are_ignored() {
+    let events = load_trace("7 1 2 w 99 # store to the flag word\n").unwrap();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].addr, 99);
+    assert!(!events[0].spin);
+}

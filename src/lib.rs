@@ -8,6 +8,7 @@
 
 pub use mtsim_apps as apps;
 pub use mtsim_asm as asm;
+pub use mtsim_check as check;
 pub use mtsim_core as core;
 pub use mtsim_isa as isa;
 pub use mtsim_lang as lang;

@@ -4,8 +4,10 @@
 //! panic, never a hang past the watchdog.
 
 use mtsim::apps::{build_app, run_app, AppKind, Scale};
-use mtsim::core::{MachineConfig, SwitchModel};
-use mtsim::mem::FaultConfig;
+use mtsim::asm::ProgramBuilder;
+use mtsim::core::{Machine, MachineConfig, SimError, SwitchModel};
+use mtsim::isa::AccessHint;
+use mtsim::mem::{FaultConfig, SharedMemory};
 
 fn faulty_cfg(seed: u64) -> MachineConfig {
     let mut cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, 2, 2).with_faults(FaultConfig {
@@ -42,4 +44,44 @@ fn faulted_app_runs_reproduce_bit_identically() {
     assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same run");
     let c = run_app(&app, faulty_cfg(8)).expect("run c");
     assert_ne!(a.cycles, c.cycles, "different seed, different timing");
+}
+
+#[test]
+fn deadlock_report_names_the_same_waiters_across_runs_at_a_fixed_seed() {
+    // Regression: the deadlock report must be a pure function of
+    // (program, config, fault seed). A detector that walks threads in a
+    // timing-dependent order — or whose fault stream isn't fully seeded —
+    // would reorder, renumber, or re-time the waiter set between runs.
+    let build = || {
+        // A barrier miscounted for 5 arrivals entered by only 4 threads:
+        // all four spin on the arrival counter forever, under an
+        // unreliable network.
+        let mut b = ProgramBuilder::new("short-barrier");
+        b.fetch_add_discard(b.const_i(0), b.const_i(1), AccessHint::Data);
+        b.while_(b.load_shared_hint(b.const_i(0), AccessHint::Spin).ne(5), |_b| {});
+        b.finish()
+    };
+    let run = || {
+        let mut cfg = faulty_cfg(0xDEAD_BEEF);
+        cfg.max_cycles = 50_000_000;
+        match Machine::new(cfg, &build(), SharedMemory::new(4)).run() {
+            Err(SimError::Deadlock { cycle, halted_threads, waiters }) => {
+                (cycle, halted_threads, waiters)
+            }
+            other => panic!("expected a proven deadlock, got {other:?}"),
+        }
+    };
+
+    let (cycle, halted, waiters) = run();
+    assert_eq!(halted, 0);
+    let mut who: Vec<usize> = waiters.iter().map(|w| w.thread).collect();
+    who.sort_unstable();
+    assert_eq!(who, vec![0, 1, 2, 3], "all four threads must be named");
+    for w in &waiters {
+        assert_eq!((w.addr, w.value), (0, 4), "all wait on the counter stuck at 4");
+    }
+
+    for rerun in 0..2 {
+        assert_eq!(run(), (cycle, halted, waiters.clone()), "rerun {rerun} diverged");
+    }
 }

@@ -1,0 +1,103 @@
+//! Golden-file snapshot tests for the paper-table text reports and the
+//! `mtsim sweep` JSON/CSV result tables.
+//!
+//! Every report here is a pure function of the (deterministic)
+//! simulations, so the rendered bytes are stable across machines and
+//! worker counts. Fixtures live under `tests/golden/`; regenerate after
+//! an intentional change with:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_reports
+//! ```
+//!
+//! A failing diff means either an engine-semantics change (investigate!)
+//! or an intentional report change (re-bless and review the diff).
+
+use mtsim::sweep::{run_sweep, SweepOpts, SweepSpec};
+use mtsim_apps::Scale;
+use mtsim_bench::tables;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares `actual` against the named fixture, or rewrites the fixture
+/// when `BLESS=1` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing golden fixture {name}; generate it with BLESS=1 cargo test --test golden_reports")
+    });
+    assert!(
+        expected == actual,
+        "golden mismatch for {name}.\n--- expected ---\n{expected}\n--- actual ---\n{actual}\n\
+         If the change is intentional, re-bless with BLESS=1 cargo test --test golden_reports"
+    );
+}
+
+#[test]
+fn table2_tiny_snapshot() {
+    check_golden("table2.txt", &tables::table2_text(Scale::Tiny));
+}
+
+#[test]
+fn table3_tiny_snapshot() {
+    check_golden("table3.txt", &tables::table3_text(Scale::Tiny, Some(2)));
+}
+
+#[test]
+fn table4_tiny_snapshot() {
+    check_golden("table4.txt", &tables::table4_text(Scale::Tiny));
+}
+
+#[test]
+fn table5_tiny_snapshot() {
+    check_golden("table5.txt", &tables::table5_text(Scale::Tiny, Some(2)));
+}
+
+#[test]
+fn table6_tiny_snapshot() {
+    check_golden("table6.txt", &tables::table6_text(Scale::Tiny));
+}
+
+#[test]
+fn table7_tiny_snapshot() {
+    check_golden("table7.txt", &tables::table7_text(Scale::Tiny));
+}
+
+#[test]
+fn table8_tiny_snapshot() {
+    check_golden("table8.txt", &tables::table8_text(Scale::Tiny, Some(2)));
+}
+
+/// A small deterministic sweep grid, snapshotting both output formats.
+/// Worker count must not affect the bytes (submission-order results).
+#[test]
+fn sweep_json_and_csv_snapshots() {
+    let mut spec = SweepSpec::default();
+    for (key, value) in [
+        ("apps", "sieve,sor"),
+        ("models", "switch-on-load,explicit-switch"),
+        ("p", "1,2"),
+        ("t", "2"),
+        ("latency", "200"),
+        ("seeds", "1"),
+        ("drop", "0"),
+    ] {
+        spec.set(key, value).unwrap_or_else(|e| panic!("spec {key}: {e}"));
+    }
+    spec.scale = Scale::Tiny;
+
+    let one = run_sweep(&spec, &SweepOpts { workers: Some(1), progress: false }).unwrap();
+    let four = run_sweep(&spec, &SweepOpts { workers: Some(4), progress: false }).unwrap();
+    assert_eq!(one.results_json(), four.results_json(), "results depend on worker count");
+
+    check_golden("sweep.json", &one.results_json());
+    check_golden("sweep.csv", &one.results_csv());
+}
