@@ -1,0 +1,74 @@
+//! Network saturation curves: the mean modeled round-trip latency per
+//! topology as offered load (threads per processor) grows, per switch
+//! model. The `constant` column is the paper's contention-free control —
+//! it simulates no network and must reproduce the plain-machine numbers.
+//!
+//! Usage: `cargo run --release -p mtsim-bench --bin net_contention [--scale tiny|small|full] [--jobs N]`
+
+use mtsim_apps::AppKind;
+use mtsim_bench::experiments::{net_contention, NetCurve, NET_MODELS};
+use mtsim_bench::report::TextTable;
+use mtsim_bench::{jobs_from_args, scale_from_args};
+use mtsim_core::Topology;
+
+fn label(c: &NetCurve) -> String {
+    if c.combining {
+        format!("{}+comb", c.topology)
+    } else {
+        c.topology.to_string()
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let procs = 4;
+    let ts = [1, 2, 4, 8];
+    println!(
+        "Network contention: ugray, {procs} procs, L=200, load axis T={ts:?} (scale {scale:?})"
+    );
+    let curves = net_contention(AppKind::Ugray, scale, procs, &ts, jobs_from_args());
+
+    for &model in &NET_MODELS {
+        let cs: Vec<&NetCurve> = curves.iter().filter(|c| c.model == model).collect();
+        println!("\n{model} — mean modeled round trip (cycles), '-' = no network simulated:");
+        let mut table =
+            TextTable::new(std::iter::once("T".to_string()).chain(cs.iter().map(|c| label(c))));
+        for (i, &t) in ts.iter().enumerate() {
+            table.row(std::iter::once(t.to_string()).chain(cs.iter().map(|c| {
+                let p = c.points[i];
+                if c.topology == Topology::Constant {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", p.net_mean_latency)
+                }
+            })));
+        }
+        print!("{}", table.render());
+
+        println!("{model} — wall-clock cycles:");
+        let mut table =
+            TextTable::new(std::iter::once("T".to_string()).chain(cs.iter().map(|c| label(c))));
+        for (i, &t) in ts.iter().enumerate() {
+            table.row(
+                std::iter::once(t.to_string())
+                    .chain(cs.iter().map(|c| c.points[i].cycles.to_string())),
+            );
+        }
+        print!("{}", table.render());
+
+        // The acceptance claim: modeled latency must rise with offered
+        // load on the multi-hop topologies.
+        for c in &cs {
+            if matches!(c.topology, Topology::Mesh | Topology::Butterfly) && !c.combining {
+                let first = c.points.first().expect("points").net_mean_latency;
+                let last = c.points.last().expect("points").net_mean_latency;
+                assert!(
+                    last > first,
+                    "{model}/{}: latency failed to rise with load ({first:.1} -> {last:.1})",
+                    c.topology
+                );
+            }
+        }
+    }
+    println!("\n(mesh/butterfly latency rises with load; combining flattens the F&A hot spot)");
+}

@@ -1,11 +1,14 @@
 //! Sweep-engine throughput benchmark: runs a fixed grid serially
 //! (`--jobs 1`) and in parallel (machine default), checks the result
 //! tables are byte-identical, and writes the speedup to
-//! `BENCH_sweep.json` so future changes get a perf trajectory.
+//! `BENCH_sweep.json` so future changes get a perf trajectory. Also runs
+//! a small network-saturation grid and writes the per-topology latency
+//! numbers to `BENCH_net.json`.
 //!
 //! Usage: `cargo run --release -p mtsim-bench --bin sweep_bench [--scale tiny|small|full] [--jobs N]`
 
 use mtsim_apps::AppKind;
+use mtsim_bench::experiments::net_contention;
 use mtsim_bench::{jobs_from_args, scale_from_args};
 use mtsim_core::SwitchModel;
 use mtsim_sweep::json::JsonBuilder;
@@ -58,4 +61,39 @@ fn main() {
     j.end();
     std::fs::write("BENCH_sweep.json", j.finish() + "\n").expect("write BENCH_sweep.json");
     println!("  wrote BENCH_sweep.json");
+
+    // Network saturation numbers: a small offered-load sweep per topology,
+    // so the contention model's trajectory is tracked alongside the sweep
+    // engine's throughput.
+    let ts = [1, 2, 4];
+    let curves = net_contention(AppKind::Sieve, scale, 4, &ts, Some(workers));
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.key("bench").string("net");
+    j.key("scale").string(scale.name());
+    j.key("app").string(AppKind::Sieve.name());
+    j.key("procs").u64(4);
+    j.key("curves").begin_array();
+    for c in &curves {
+        j.begin_object();
+        j.key("model").string(c.model.name());
+        j.key("net").string(c.topology.name());
+        j.key("combining").bool(c.combining);
+        j.key("points").begin_array();
+        for p in &c.points {
+            j.begin_object();
+            j.key("t").u64(p.threads_per_proc as u64);
+            j.key("cycles").u64(p.cycles);
+            j.key("mean_latency").f64(p.net_mean_latency);
+            j.key("queue_cycles").u64(p.net_queue_cycles);
+            j.key("fa_combined").u64(p.net_fa_combined);
+            j.end();
+        }
+        j.end();
+        j.end();
+    }
+    j.end();
+    j.end();
+    std::fs::write("BENCH_net.json", j.finish() + "\n").expect("write BENCH_net.json");
+    println!("  wrote BENCH_net.json ({} saturation curves)", curves.len());
 }

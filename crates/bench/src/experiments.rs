@@ -9,7 +9,9 @@
 use mtsim_apps::{
     app_builder, build_app, efficiency, run_app, run_app_with_program, AppKind, BuiltApp, Scale,
 };
-use mtsim_core::{MachineConfig, RunLengthHist, RunResult, RunStats, SwitchModel};
+use mtsim_core::{
+    MachineConfig, NetworkConfig, RunLengthHist, RunResult, RunStats, SwitchModel, Topology,
+};
 use mtsim_sweep::{run_job_specs, JobOutcome, JobSpec, SweepOpts};
 
 /// Watchdog for every experiment run (generous; catches deadlocks).
@@ -245,6 +247,9 @@ fn baseline_job(id: usize, app: AppKind, scale: Scale) -> JobSpec {
         latency: 0,
         seed: 0,
         drop_rate: 0.0,
+        net: Topology::Constant,
+        link_bw: NetworkConfig::constant().link_bw,
+        combining: false,
         scale,
         max_cycles: MAX_CYCLES,
         max_retries: 8,
@@ -291,6 +296,9 @@ pub fn mt_table(scale: Scale, model: SwitchModel, workers: Option<usize>) -> Vec
                 latency: 200,
                 seed: 0,
                 drop_rate: 0.0,
+                net: Topology::Constant,
+                link_bw: NetworkConfig::constant().link_bw,
+                combining: false,
                 scale,
                 max_cycles: MAX_CYCLES,
                 max_retries: 8,
@@ -613,6 +621,9 @@ pub fn latency_sweep(
                 latency: lat,
                 seed: 0,
                 drop_rate: 0.0,
+                net: Topology::Constant,
+                link_bw: NetworkConfig::constant().link_bw,
+                combining: false,
                 scale,
                 max_cycles: MAX_CYCLES,
                 max_retries: 8,
@@ -637,4 +648,116 @@ pub fn latency_sweep(
             LatencyRow { latency: lat, efficiency: efficiency_by_model }
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Network contention (PR 4, beyond the paper)
+// ---------------------------------------------------------------------
+
+/// One saturation curve: a (model, topology, combining) configuration
+/// evaluated across the offered-load axis (threads per processor).
+#[derive(Debug, Clone)]
+pub struct NetCurve {
+    /// Context-switch model.
+    pub model: SwitchModel,
+    /// Interconnection topology.
+    pub topology: Topology,
+    /// Whether the switches combine concurrent fetch-and-adds.
+    pub combining: bool,
+    /// One point per entry of the `ts` axis, in order.
+    pub points: Vec<NetPoint>,
+}
+
+/// One offered-load point of a [`NetCurve`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetPoint {
+    /// Threads per processor (the offered-load knob).
+    pub threads_per_proc: usize,
+    /// Wall-clock cycles of the run.
+    pub cycles: u64,
+    /// Mean modeled round-trip latency over all network requests.
+    pub net_mean_latency: f64,
+    /// Total cycles messages spent queued on busy links.
+    pub net_queue_cycles: u64,
+    /// Fetch-and-adds merged in flight (0 without combining).
+    pub net_fa_combined: u64,
+}
+
+/// Models compared by [`net_contention`].
+pub const NET_MODELS: [SwitchModel; 2] = [SwitchModel::SwitchOnLoad, SwitchModel::ExplicitSwitch];
+
+/// The (topology, combining) configurations [`net_contention`] sweeps:
+/// the paper's contention-free pipe as the control, then each contention
+/// topology with and without combining.
+pub fn net_configs() -> Vec<(Topology, bool)> {
+    let mut cfgs = vec![(Topology::Constant, false)];
+    for t in [Topology::Crossbar, Topology::Mesh, Topology::Butterfly] {
+        cfgs.push((t, false));
+        cfgs.push((t, true));
+    }
+    cfgs
+}
+
+/// Network saturation curves: per switch model and topology, how the mean
+/// modeled round-trip latency grows with offered load (threads per
+/// processor). The `constant` control must reproduce the no-network
+/// numbers bit-for-bit; mesh and butterfly are expected to queue.
+///
+/// Runs on the `mtsim-sweep` engine with `workers` threads (`None` =
+/// machine default). The result is a pure function of the grid.
+pub fn net_contention(
+    kind: AppKind,
+    scale: Scale,
+    procs: usize,
+    ts: &[usize],
+    workers: Option<usize>,
+) -> Vec<NetCurve> {
+    let configs = net_configs();
+    let mut jobs = Vec::with_capacity(NET_MODELS.len() * configs.len() * ts.len());
+    for &model in &NET_MODELS {
+        for &(topology, combining) in &configs {
+            for &t in ts {
+                jobs.push(JobSpec {
+                    id: jobs.len(),
+                    app: kind,
+                    model,
+                    procs,
+                    threads_per_proc: t,
+                    latency: 200,
+                    seed: 0,
+                    drop_rate: 0.0,
+                    net: topology,
+                    link_bw: NetworkConfig::constant().link_bw,
+                    combining,
+                    scale,
+                    max_cycles: MAX_CYCLES,
+                    max_retries: 8,
+                });
+            }
+        }
+    }
+    let out = run_job_specs(jobs, &SweepOpts { workers, progress: false });
+
+    let mut curves = Vec::with_capacity(NET_MODELS.len() * configs.len());
+    let mut next = 0;
+    for &model in &NET_MODELS {
+        for &(topology, combining) in &configs {
+            let points = ts
+                .iter()
+                .map(|&t| {
+                    let s = stats_or_panic(&out.jobs[next], "net contention run");
+                    next += 1;
+                    NetPoint {
+                        threads_per_proc: t,
+                        cycles: s.cycles,
+                        net_mean_latency: s.net_mean_latency(),
+                        net_queue_cycles: s.net_queue_cycles,
+                        net_fa_combined: s.net_fa_combined,
+                    }
+                })
+                .collect();
+            curves.push(NetCurve { model, topology, combining, points });
+        }
+    }
+    curves
 }

@@ -24,7 +24,7 @@
 use crate::generate::TestProgram;
 use crate::oracle::{run_oracle, OracleRun};
 use mtsim_asm::Program;
-use mtsim_core::{FinishedRun, Machine, MachineConfig, SwitchModel};
+use mtsim_core::{FinishedRun, Machine, MachineConfig, NetworkConfig, SwitchModel, Topology};
 use mtsim_mem::{FaultConfig, LatencyDist};
 use mtsim_opt::group_shared_loads;
 use mtsim_rng::Rng;
@@ -65,7 +65,7 @@ fn splits(n: usize) -> Vec<(usize, usize)> {
     if n > 1 {
         out.push((n, 1));
     }
-    if n >= 4 && n % 2 == 0 {
+    if n >= 4 && n.is_multiple_of(2) {
         out.push((2, n / 2));
     }
     out
@@ -243,6 +243,30 @@ fn check_split(
         compare(&oracle, &run, case.regs_comparable).map_err(|d| fail(who(tag, model, 200), d))?;
     }
 
+    // Network-topology runs (PR 4): a modeled interconnect — queueing,
+    // routing, combining — changes timing, never results. Every contention
+    // topology must still match the oracle byte-for-byte. (`Constant` is
+    // already the whole grid above: an inactive network is the identity.)
+    let net_grid: [(Topology, bool, SwitchModel, &Program); 4] = [
+        (Topology::Crossbar, false, SwitchModel::SwitchOnLoad, &case.program),
+        (Topology::Mesh, false, SwitchModel::SwitchOnLoad, &case.program),
+        (Topology::Butterfly, false, SwitchModel::SwitchOnLoad, &case.program),
+        (Topology::Butterfly, true, SwitchModel::ExplicitSwitch, &grouped),
+    ];
+    for (topology, combining, model, prog) in net_grid {
+        let label = format!(
+            "n={n} p={procs} t={tpp} net-{topology}{} {} lat=200",
+            if combining { "+comb" } else { "" },
+            model.name()
+        );
+        let cfg = MachineConfig::new(model, procs, tpp)
+            .with_latency(200)
+            .with_net(NetworkConfig::new(topology).with_combining(combining));
+        let run = run_engine(cfg, prog, &case.shared).map_err(|e| fail(label.clone(), e))?;
+        report.engine_runs += 1;
+        compare(&oracle, &run, case.regs_comparable).map_err(|d| fail(label, d))?;
+    }
+
     Ok(())
 }
 
@@ -329,9 +353,8 @@ mod tests {
     fn a_handful_of_seeds_pass_the_full_grid() {
         for seed in 0..6 {
             let tp = generate(seed);
-            let report = check_program(&tp, seed).unwrap_or_else(|f| {
-                panic!("seed {seed} failed at {}: {}", f.label, f.detail)
-            });
+            let report = check_program(&tp, seed)
+                .unwrap_or_else(|f| panic!("seed {seed} failed at {}: {}", f.label, f.detail));
             assert!(report.engine_runs > 0);
         }
     }

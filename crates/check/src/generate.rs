@@ -20,7 +20,7 @@
 //! (not `mtsim_asm::IExpr` directly) so the shrinking minimizer in
 //! [`crate::shrink`] can enumerate structural reductions.
 
-use mtsim_asm::{FExpr, IExpr, IVar, FVar, Program, ProgramBuilder, SharedLayout};
+use mtsim_asm::{FExpr, FVar, IExpr, IVar, Program, ProgramBuilder, SharedLayout};
 use mtsim_isa::{AccessHint, AluOp, BCond, CmpOp, FpuOp};
 use mtsim_mem::SharedMemory;
 use mtsim_rng::Rng;
@@ -193,17 +193,14 @@ impl TestProgram {
         let acc_base = layout.alloc("acc", self.acc_cells);
         let cs_base = layout.alloc("cs", self.acc_cells);
         let lock = self.uses_lock().then(|| TicketLock::alloc(&mut layout, "lock"));
-        let barrier = self
-            .uses_barrier()
-            .then(|| Barrier::alloc(&mut layout, "bar", self.nthreads as i64));
+        let barrier =
+            self.uses_barrier().then(|| Barrier::alloc(&mut layout, "bar", self.nthreads as i64));
         let out_base = layout.alloc("out", self.nthreads as u64 * self.out_slots);
 
         let mut b = ProgramBuilder::new("fuzz");
         b.local_alloc(self.local_words);
-        let ivars: Vec<IVar> =
-            (0..NIVARS).map(|i| b.def_i(&format!("gi{i}"), i as i64)).collect();
-        let fvars: Vec<FVar> =
-            (0..NFVARS).map(|i| b.def_f(&format!("gf{i}"), i as f64)).collect();
+        let ivars: Vec<IVar> = (0..NIVARS).map(|i| b.def_i(&format!("gi{i}"), i as i64)).collect();
+        let fvars: Vec<FVar> = (0..NFVARS).map(|i| b.def_f(&format!("gf{i}"), i as f64)).collect();
         let ctx = EmitCtx {
             in_base,
             acc_base,

@@ -163,9 +163,8 @@ pub fn fuzz(cfg: FuzzConfig) -> FuzzSummary {
             Ok(Err(failure)) => {
                 let tp = generate(case_seed);
                 let fault_seed = fault_seed_for(case_seed);
-                let minimized = shrink(&tp, cfg.shrink_budget, |cand| {
-                    check_program(cand, fault_seed).is_err()
-                });
+                let minimized =
+                    shrink(&tp, cfg.shrink_budget, |cand| check_program(cand, fault_seed).is_err());
                 let listing = minimized.emit().program.listing();
                 summary.failures.push(FuzzFailure { case_seed, failure, minimized, listing });
             }

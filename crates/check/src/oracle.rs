@@ -129,16 +129,16 @@ pub fn run_oracle(
     let mut live = nthreads;
 
     while live > 0 {
-        for tid in 0..nthreads {
-            if threads[tid].halted {
+        for (tid, thread) in threads.iter_mut().enumerate() {
+            if thread.halted {
                 continue;
             }
             if executed >= fuel {
                 return Err(OracleError::Fuel { executed });
             }
             executed += 1;
-            step(program, &mut threads[tid], &mut shared, tid)?;
-            if threads[tid].halted {
+            step(program, thread, &mut shared, tid)?;
+            if thread.halted {
                 live -= 1;
             }
         }
@@ -166,11 +166,16 @@ fn ea(th: &OThread, tid: usize, pc: Pc, base: Reg, offset: i64) -> Result<u64, O
 }
 
 fn shared_read(sh: &SharedMemory, tid: usize, pc: Pc, addr: u64) -> Result<u64, OracleError> {
-    sh.try_read(addr)
-        .ok_or_else(|| bad(tid, pc, format!("shared load out of range: word {addr}")))
+    sh.try_read(addr).ok_or_else(|| bad(tid, pc, format!("shared load out of range: word {addr}")))
 }
 
-fn shared_write(sh: &mut SharedMemory, tid: usize, pc: Pc, addr: u64, v: u64) -> Result<(), OracleError> {
+fn shared_write(
+    sh: &mut SharedMemory,
+    tid: usize,
+    pc: Pc,
+    addr: u64,
+    v: u64,
+) -> Result<(), OracleError> {
     sh.try_write(addr, v)
         .ok_or_else(|| bad(tid, pc, format!("shared store out of range: word {addr}")))
 }

@@ -82,9 +82,7 @@ pub fn metric(tp: &TestProgram) -> u64 {
             | Stmt::StoreLocal(_, e)
             | Stmt::FaaAcc(_, e) => ie(e),
             Stmt::AssignF(_, e) | Stmt::StoreOutF(_, e) | Stmt::StoreLocalF(_, e) => fe(e),
-            Stmt::If(c, a, b) => {
-                ie(&c.a) + ie(&c.b) + block(a) + block(b)
-            }
+            Stmt::If(c, a, b) => ie(&c.a) + ie(&c.b) + block(a) + block(b),
             Stmt::For(t, b) => *t as u64 + block(b),
             Stmt::Critical(..) | Stmt::Barrier => 4,
         }

@@ -1,0 +1,151 @@
+//! Typed parsing for the structured CLI flags (latency distributions and
+//! network configuration).
+//!
+//! Historically each parser called `bad_usage` directly, so every flag
+//! invented its own failure wording and testing the messages meant
+//! spawning the binary. These parsers return a [`FlagError`] instead; the
+//! single exit point in `main.rs` maps any of them to stderr plus exit
+//! code 2, and the messages are unit-testable in-process.
+
+use mtsim_mem::{LatencyDist, NetworkConfig, Topology};
+
+/// A malformed flag value: which flag, what was given, what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagError {
+    /// Flag name without the leading dashes.
+    pub flag: &'static str,
+    /// The offending value as typed.
+    pub value: String,
+    /// What the flag accepts.
+    pub expected: &'static str,
+}
+
+impl FlagError {
+    fn new(flag: &'static str, value: &str, expected: &'static str) -> FlagError {
+        FlagError { flag, value: value.to_string(), expected }
+    }
+}
+
+impl std::fmt::Display for FlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad value '{}' for --{} (want {})", self.value, self.flag, self.expected)
+    }
+}
+
+impl std::error::Error for FlagError {}
+
+const DIST_EXPECTED: &str = "constant, uniform:LO:HI, or geometric:MIN:MEAN";
+
+/// Parses `constant`, `uniform:LO:HI`, or `geometric:MIN:MEAN`.
+pub fn parse_latency_dist(spec: &str) -> Result<LatencyDist, FlagError> {
+    let err = || FlagError::new("latency-dist", spec, DIST_EXPECTED);
+    let num = |v: &str| v.parse::<u64>().map_err(|_| err());
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["constant"] => Ok(LatencyDist::Constant),
+        ["uniform", lo, hi] => Ok(LatencyDist::Uniform { lo: num(lo)?, hi: num(hi)? }),
+        ["geometric", min, mean] => {
+            let mean: f64 = mean.parse().map_err(|_| err())?;
+            if !mean.is_finite() || mean < 0.0 {
+                return Err(FlagError::new("latency-dist", spec, "a finite geometric mean >= 0"));
+            }
+            Ok(LatencyDist::Geometric { min: num(min)?, p: 1.0 / (mean + 1.0) })
+        }
+        _ => Err(err()),
+    }
+}
+
+/// Parses a `--net` topology name.
+pub fn parse_topology(s: &str) -> Result<Topology, FlagError> {
+    Topology::from_name(s)
+        .ok_or_else(|| FlagError::new("net", s, "constant, crossbar, mesh, or butterfly"))
+}
+
+/// Builds the network configuration from `--net NAME`, `--link-bw BITS`,
+/// and the `--combining` boolean.
+pub fn net_config(
+    net: Option<&str>,
+    link_bw: Option<&str>,
+    combining: bool,
+) -> Result<NetworkConfig, FlagError> {
+    let mut cfg = NetworkConfig::constant();
+    if let Some(name) = net {
+        cfg.topology = parse_topology(name)?;
+    }
+    if let Some(bw) = link_bw {
+        cfg.link_bw = bw
+            .parse::<u64>()
+            .ok()
+            .filter(|&b| b >= 1)
+            .ok_or_else(|| FlagError::new("link-bw", bw, "a bandwidth >= 1 bits/cycle"))?;
+    }
+    cfg.combining = combining;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dist_accepts_the_documented_forms() {
+        assert_eq!(parse_latency_dist("constant"), Ok(LatencyDist::Constant));
+        assert_eq!(
+            parse_latency_dist("uniform:100:300"),
+            Ok(LatencyDist::Uniform { lo: 100, hi: 300 })
+        );
+        assert!(matches!(
+            parse_latency_dist("geometric:150:50"),
+            Ok(LatencyDist::Geometric { min: 150, .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_latency_dist_names_the_flag_and_the_grammar() {
+        let e = parse_latency_dist("uniform:abc:2").unwrap_err();
+        assert_eq!(e.flag, "latency-dist");
+        let msg = e.to_string();
+        assert!(msg.contains("'uniform:abc:2'"), "{msg}");
+        assert!(msg.contains("--latency-dist"), "{msg}");
+        assert!(msg.contains("uniform:LO:HI"), "{msg}");
+
+        let e = parse_latency_dist("gaussian:1:2").unwrap_err();
+        assert!(e.to_string().contains("geometric:MIN:MEAN"));
+    }
+
+    #[test]
+    fn negative_geometric_mean_is_rejected_with_its_own_message() {
+        let e = parse_latency_dist("geometric:100:-3").unwrap_err();
+        assert!(e.to_string().contains("mean >= 0"), "{e}");
+        assert!(parse_latency_dist("geometric:100:NaN").is_err());
+    }
+
+    #[test]
+    fn topology_parses_all_names_and_rejects_garbage() {
+        for t in Topology::ALL {
+            assert_eq!(parse_topology(t.name()), Ok(t));
+        }
+        let e = parse_topology("torus").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("--net") && msg.contains("'torus'"), "{msg}");
+        assert!(msg.contains("crossbar, mesh, or butterfly"), "{msg}");
+    }
+
+    #[test]
+    fn net_config_combines_the_three_flags() {
+        let cfg = net_config(Some("mesh"), Some("32"), true).unwrap();
+        assert_eq!(cfg.topology, Topology::Mesh);
+        assert_eq!(cfg.link_bw, 32);
+        assert!(cfg.combining);
+        assert_eq!(net_config(None, None, false).unwrap(), NetworkConfig::constant());
+    }
+
+    #[test]
+    fn zero_or_garbage_link_bw_is_one_typed_error() {
+        for bad in ["0", "-4", "fast"] {
+            let e = net_config(None, Some(bad), false).unwrap_err();
+            assert_eq!(e.flag, "link-bw");
+            assert!(e.to_string().contains(">= 1"), "{e}");
+        }
+    }
+}

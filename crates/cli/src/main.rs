@@ -5,6 +5,7 @@
 //!            [--max-run N|off] [--priority] [--estimate] [--stats]
 //!            [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]
 //!            [--latency-dist D] [--max-retries N]
+//!            [--net T] [--link-bw N] [--combining]
 //! mtsim list
 //! mtsim disasm <app> [--grouped] [--scale S]
 //! mtsim models
@@ -12,8 +13,10 @@
 //! mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats]
 //!                [--seed N] [--fault-drop R] [--fault-delay R]
 //!                [--fault-dup R] [--latency-dist D] [--max-retries N]
+//!                [--net T] [--link-bw N] [--combining]
 //! mtsim sweep [--spec FILE] [--apps A,B|all] [--models M,N|all] [--p LIST]
 //!             [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]
+//!             [--net LIST|all] [--link-bw N] [--combining]
 //!             [--scale S] [--max-cycles N] [--max-retries N]
 //!             [--jobs N] [--out results.json] [--csv results.csv] [--quiet]
 //! mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N]
@@ -36,6 +39,11 @@
 //! Latency distributions: `constant` (the paper's model), `uniform:LO:HI`,
 //! `geometric:MIN:MEAN` (MEAN is the average extra tail beyond MIN).
 //!
+//! Network topologies (`--net`): `constant` (the paper's contention-free
+//! pipe, the default), `crossbar`, `mesh`, `butterfly`. `--link-bw` sets
+//! bits/cycle per link (default 16); `--combining` merges concurrent
+//! fetch-and-adds to one address inside the switches.
+//!
 //! Exit codes: `0` success, `1` the simulation failed (fault exhaustion,
 //! deadlock, watchdog, bad program, wrong results), `2` usage or
 //! configuration error.
@@ -48,9 +56,12 @@
 //! mtsim disasm sor --grouped | head -40
 //! ```
 
+mod flags;
+
+use flags::{net_config, parse_latency_dist, FlagError};
 use mtsim_apps::{build_app, run_app, AppKind, Scale};
 use mtsim_core::{MachineConfig, SwitchModel};
-use mtsim_mem::{FaultConfig, LatencyDist};
+use mtsim_mem::FaultConfig;
 use mtsim_sweep::{SweepOpts, SweepSpec};
 
 /// The simulation ran and failed (typed `SimError` or wrong results).
@@ -60,7 +71,7 @@ const EXIT_USAGE: i32 = 2;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault flags]\n  mtsim sweep [--spec FILE] [--apps LIST|all] [--models LIST|all] [--p LIST]\n              [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]\n              [--scale S] [--max-cycles N] [--max-retries N]\n              [--jobs N] [--out FILE.json] [--csv FILE.csv] [--quiet]\n  mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N]\n\napps: {}\nmodels: {}",
+        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n             [--net constant|crossbar|mesh|butterfly] [--link-bw N] [--combining]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault/net flags]\n  mtsim sweep [--spec FILE] [--apps LIST|all] [--models LIST|all] [--p LIST]\n              [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]\n              [--net LIST|all] [--link-bw N] [--combining]\n              [--scale S] [--max-cycles N] [--max-retries N]\n              [--jobs N] [--out FILE.json] [--csv FILE.csv] [--quiet]\n  mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N]\n\napps: {}\nmodels: {}",
         AppKind::ALL.map(|a| a.name()).join(", "),
         SwitchModel::ALL.map(|m| m.name()).join(", ")
     );
@@ -102,31 +113,24 @@ fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> T {
     v.parse().unwrap_or_else(|_| bad_usage(&format!("bad value '{v}' for --{flag}")))
 }
 
-/// Parses `constant`, `uniform:LO:HI`, or `geometric:MIN:MEAN`.
-fn parse_latency_dist(spec: &str) -> LatencyDist {
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts.as_slice() {
-        ["constant"] => LatencyDist::Constant,
-        ["uniform", lo, hi] => LatencyDist::Uniform {
-            lo: parse_num("latency-dist", lo),
-            hi: parse_num("latency-dist", hi),
-        },
-        ["geometric", min, mean] => {
-            let mean: f64 = parse_num("latency-dist", mean);
-            if !mean.is_finite() || mean < 0.0 {
-                bad_usage(&format!("geometric mean {mean} must be >= 0"));
-            }
-            LatencyDist::Geometric { min: parse_num("latency-dist", min), p: 1.0 / (mean + 1.0) }
-        }
-        _ => bad_usage(&format!(
-            "bad --latency-dist '{spec}' (want constant, uniform:LO:HI, or geometric:MIN:MEAN)"
-        )),
-    }
+/// Unwraps a typed flag-parse result, mapping [`FlagError`] to the usage
+/// exit path (stderr + exit code 2).
+fn flag_or_die<T>(r: Result<T, FlagError>) -> T {
+    r.unwrap_or_else(|e| bad_usage(&e.to_string()))
 }
 
 /// Value-taking fault flags shared by `run` and `run-file`.
 const FAULT_FLAGS: [&str; 6] =
     ["seed", "fault-drop", "fault-delay", "fault-dup", "latency-dist", "max-retries"];
+
+/// Value-taking network flags shared by `run` and `run-file`
+/// (`--combining` is boolean and listed separately).
+const NET_FLAGS: [&str; 2] = ["net", "link-bw"];
+
+/// Builds the network configuration from the shared network flags.
+fn net_from_args(args: &Args) -> mtsim_mem::NetworkConfig {
+    flag_or_die(net_config(args.get("net"), args.get("link-bw"), args.has("combining")))
+}
 
 /// Builds the fault configuration from the shared fault flags.
 fn fault_config(args: &Args) -> FaultConfig {
@@ -144,7 +148,7 @@ fn fault_config(args: &Args) -> FaultConfig {
         fc.dup_rate = parse_num("fault-dup", v);
     }
     if let Some(v) = args.get("latency-dist") {
-        fc.dist = parse_latency_dist(v);
+        fc.dist = flag_or_die(parse_latency_dist(v));
     }
     if let Some(v) = args.get("max-retries") {
         fc.max_retries = parse_num("max-retries", v);
@@ -215,13 +219,15 @@ fn main() {
             let mut value_flags =
                 vec!["model", "p", "t", "scale", "latency", "max-run", "max-cycles"];
             value_flags.extend(FAULT_FLAGS);
-            cmd_run(&Args::parse(&value_flags, &["priority", "estimate", "stats"]))
+            value_flags.extend(NET_FLAGS);
+            cmd_run(&Args::parse(&value_flags, &["priority", "estimate", "stats", "combining"]))
         }
         Some("compile") => cmd_compile(&Args::parse(&["t"], &["grouped"])),
         Some("run-file") => {
             let mut value_flags = vec!["model", "p", "t", "max-cycles"];
             value_flags.extend(FAULT_FLAGS);
-            cmd_run_file(&Args::parse(&value_flags, &["stats"]))
+            value_flags.extend(NET_FLAGS);
+            cmd_run_file(&Args::parse(&value_flags, &["stats", "combining"]))
         }
         Some("sweep") => cmd_sweep(&Args::parse(
             &[
@@ -233,6 +239,8 @@ fn main() {
                 "latency",
                 "seeds",
                 "drop",
+                "net",
+                "link-bw",
                 "scale",
                 "max-cycles",
                 "max-retries",
@@ -240,7 +248,7 @@ fn main() {
                 "out",
                 "csv",
             ],
-            &["quiet"],
+            &["quiet", "combining"],
         )),
         Some("check") => cmd_check(&Args::parse(&["fuzz", "seed", "jobs", "shrink-budget"], &[])),
         _ => usage(),
@@ -285,8 +293,19 @@ fn cmd_check(args: &Args) {
 }
 
 /// Grid-axis flags forwarded verbatim to [`SweepSpec::set`].
-const SWEEP_KEYS: [&str; 9] =
-    ["apps", "models", "p", "t", "latency", "seeds", "drop", "max-cycles", "max-retries"];
+const SWEEP_KEYS: [&str; 11] = [
+    "apps",
+    "models",
+    "p",
+    "t",
+    "latency",
+    "seeds",
+    "drop",
+    "net",
+    "link-bw",
+    "max-cycles",
+    "max-retries",
+];
 
 fn cmd_sweep(args: &Args) {
     use std::io::IsTerminal;
@@ -306,6 +325,9 @@ fn cmd_sweep(args: &Args) {
         if let Some(value) = args.get(key) {
             spec.set(key, value).unwrap_or_else(|e| bad_usage(&e));
         }
+    }
+    if args.has("combining") {
+        spec.set("combining", "true").unwrap_or_else(|e| bad_usage(&e));
     }
     if let Some(s) = args.get("scale") {
         spec.scale = parse_scale(s);
@@ -429,6 +451,25 @@ fn validate_or_die(cfg: &MachineConfig) {
     }
 }
 
+/// Prints the modeled-network summary line when a network was simulated.
+fn print_net_stats(cfg: &MachineConfig, r: &mtsim_core::RunResult) {
+    if let Some(n) = r.net {
+        println!(
+            "  network       {} ({} round trips, mean latency {:.1}, max {}, {} queue cycles{})",
+            cfg.net.topology,
+            n.requests,
+            n.mean_latency(),
+            n.latency_max,
+            n.queue_cycles,
+            if cfg.net.combining {
+                format!(", {} of {} F&As combined", n.fa_combined, n.fa_requests)
+            } else {
+                String::new()
+            }
+        );
+    }
+}
+
 /// Prints the fault-recovery summary line when fault injection was on.
 fn print_fault_stats(cfg: &MachineConfig, r: &mtsim_core::RunResult) {
     if !cfg.fault.is_active() {
@@ -451,6 +492,7 @@ fn cmd_run_file(args: &Args) {
     cfg.max_cycles =
         args.get("max-cycles").map(|v| parse_num("max-cycles", v)).unwrap_or(5_000_000_000);
     cfg.fault = fault_config(args);
+    cfg.net = net_from_args(args);
     validate_or_die(&cfg);
 
     let unit = read_and_compile(args, procs * threads);
@@ -488,6 +530,7 @@ fn cmd_run_file(args: &Args) {
             fin.result.run_lengths.mean(),
             fin.result.bits_per_cycle()
         );
+        print_net_stats(&cfg, &fin.result);
         print_fault_stats(&cfg, &fin.result);
     }
 }
@@ -512,6 +555,7 @@ fn cmd_run(args: &Args) {
     cfg.max_cycles =
         args.get("max-cycles").map(|v| parse_num("max-cycles", v)).unwrap_or(5_000_000_000);
     cfg.fault = fault_config(args);
+    cfg.net = net_from_args(args);
     validate_or_die(&cfg);
 
     let app = build_app(kind, scale, procs * threads);
@@ -554,6 +598,7 @@ fn cmd_run(args: &Args) {
             );
         }
         println!("  scoreboard    {} stall cycles", r.scoreboard_stalls);
+        print_net_stats(&cfg, &r);
         print_fault_stats(&cfg, &r);
     }
 }

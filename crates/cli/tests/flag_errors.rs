@@ -1,0 +1,83 @@
+//! End-to-end checks of the typed flag-error path: every malformed
+//! structured flag (`--latency-dist`, `--net`, `--link-bw`) exits with
+//! code 2 and names the flag, the offending value, and the accepted
+//! grammar on stderr.
+
+use std::process::{Command, Output};
+
+fn mtsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mtsim")).args(args).output().expect("spawn mtsim")
+}
+
+fn assert_usage_error(args: &[&str], needles: &[&str]) {
+    let out = mtsim(args);
+    assert_eq!(out.status.code(), Some(2), "args {args:?} should exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in needles {
+        assert!(stderr.contains(needle), "args {args:?}: stderr missing {needle:?}\n{stderr}");
+    }
+}
+
+#[test]
+fn malformed_latency_dist_is_a_usage_error() {
+    assert_usage_error(
+        &[
+            "run",
+            "sieve",
+            "--scale",
+            "tiny",
+            "--fault-drop",
+            "0.1",
+            "--latency-dist",
+            "gaussian:1:2",
+        ],
+        &["bad value 'gaussian:1:2' for --latency-dist", "geometric:MIN:MEAN"],
+    );
+}
+
+#[test]
+fn unknown_topology_is_a_usage_error() {
+    assert_usage_error(
+        &["run", "sieve", "--scale", "tiny", "--net", "torus"],
+        &["bad value 'torus' for --net", "crossbar, mesh, or butterfly"],
+    );
+}
+
+#[test]
+fn zero_link_bw_is_a_usage_error() {
+    assert_usage_error(
+        &["run", "sieve", "--scale", "tiny", "--net", "mesh", "--link-bw", "0"],
+        &["bad value '0' for --link-bw", ">= 1"],
+    );
+}
+
+#[test]
+fn net_flags_error_identically_under_run_file_and_sweep() {
+    // The same typed path serves every subcommand that takes the flags.
+    assert_usage_error(&["sweep", "--net", "torus"], &["unknown topology \"torus\""]);
+    assert_usage_error(
+        &["run", "sieve", "--scale", "tiny", "--link-bw", "fast"],
+        &["bad value 'fast' for --link-bw"],
+    );
+}
+
+#[test]
+fn well_formed_net_flags_run_and_report_stats() {
+    let out = mtsim(&[
+        "run",
+        "sieve",
+        "--scale",
+        "tiny",
+        "-p",
+        "2",
+        "-t",
+        "2",
+        "--net",
+        "crossbar",
+        "--combining",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crossbar"), "missing net stats:\n{stdout}");
+}

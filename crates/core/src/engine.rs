@@ -16,7 +16,10 @@ use crate::stats::{DeadlockWaiter, ProcStats, RunLengthHist, RunResult, SimError
 use crate::thread::{PendingReg, Thread};
 use mtsim_asm::Program;
 use mtsim_isa::{cost, AccessHint, AluOp, BCond, CmpOp, FpuOp, Inst, Pc, Space};
-use mtsim_mem::{CoherentCaches, FaultPlan, SharedMemory, TraceEvent, TraceKind, Traffic};
+use mtsim_mem::{
+    message_bits, CoherentCaches, FaultPlan, MsgClass, Network, SharedMemory, TraceEvent,
+    TraceKind, Traffic,
+};
 
 #[derive(Debug, Default)]
 struct Counters {
@@ -84,6 +87,10 @@ pub struct Machine {
     counters: Counters,
     trace: Option<Vec<TraceEvent>>,
     fault: Option<FaultPlan>,
+    /// Present only when a contention topology (or combining) is
+    /// configured; `None` leaves the paper's constant-latency path —
+    /// and every existing golden number — untouched.
+    net: Option<Network>,
 }
 
 /// A completed run: statistics plus the final shared-memory image (for
@@ -157,6 +164,10 @@ impl Machine {
             config.model.uses_cache().then(|| CoherentCaches::new(config.processors, config.cache));
         let collect_trace = config.collect_trace;
         let fault = config.fault.is_active().then(|| FaultPlan::new(config.fault));
+        let net = config
+            .net
+            .is_active()
+            .then(|| Network::new(config.net, config.processors, config.latency));
         Ok(Machine {
             config,
             program: program.clone(),
@@ -169,6 +180,7 @@ impl Machine {
             counters: Counters::default(),
             trace: collect_trace.then(Vec::new),
             fault,
+            net,
         })
     }
 
@@ -236,15 +248,12 @@ impl Machine {
             scoreboard_stalls: self.counters.stalls,
             instructions: self.counters.instructions,
             trace: self.trace,
+            net: self.net.as_ref().map(|n| n.stats()),
         };
         let threads = self
             .threads
             .into_iter()
-            .map(|t| ThreadImage {
-                regs: t.regs,
-                fregs: t.fregs.map(f64::to_bits),
-                local: t.local,
-            })
+            .map(|t| ThreadImage { regs: t.regs, fregs: t.fregs.map(f64::to_bits), local: t.local })
             .collect();
         Ok(FinishedRun { result, shared: self.shared, threads })
     }
@@ -263,6 +272,7 @@ impl Machine {
         let counters = &mut self.counters;
         let trace = &mut self.trace;
         let fault = &mut self.fault;
+        let net = &mut self.net;
         let proc = &mut self.procs[p];
 
         #[cfg(feature = "debug-invariants")]
@@ -397,6 +407,7 @@ impl Machine {
                 counters,
                 trace,
                 fault,
+                net,
             )?;
             // A spin loop was just proven periodic: if every live thread
             // is in that state (and has seen the latest mutation), nobody
@@ -559,8 +570,7 @@ fn assert_step_invariants(p: usize, proc: &Proc, threads: &[Thread], config: &Ma
             );
         }
         for pend in &th.pending {
-            let limit =
-                if pend.fp { mtsim_isa::FReg::COUNT } else { mtsim_isa::Reg::COUNT };
+            let limit = if pend.fp { mtsim_isa::FReg::COUNT } else { mtsim_isa::Reg::COUNT };
             assert!(
                 (pend.idx as usize) < limit,
                 "thread {tid}: pending entry names register {} out of range",
@@ -597,6 +607,7 @@ fn exec(
     counters: &mut Counters,
     trace: &mut Option<Vec<TraceEvent>>,
     fault: &mut Option<FaultPlan>,
+    net: &mut Option<Network>,
 ) -> Result<Outcome, SimError> {
     let record =
         |trace: &mut Option<Vec<TraceEvent>>, time: u64, kind: TraceKind, addr: u64, spin: bool| {
@@ -769,12 +780,14 @@ fn exec(
                     counters.spin_confirm = true;
                 }
             }
+            let shape = load_shape(caches.is_some() && !spin, cache_hit, 1, config);
+            let base = net_base(net, latency, t0, p, addr, cache_hit, &shape);
             let reply = reply_time(
                 fault,
                 t0,
-                latency,
+                base,
                 addr,
-                1,
+                shape,
                 spin,
                 p,
                 tid,
@@ -795,12 +808,14 @@ fn exec(
             let cache_hit = lookup_cache(caches, p, addr, config, traffic, false);
             record(trace, t0, TraceKind::Read, addr, false);
             th.fset(fd, f64::from_bits(raw));
+            let shape = load_shape(caches.is_some(), cache_hit, 1, config);
+            let base = net_base(net, latency, t0, p, addr, cache_hit, &shape);
             let reply = reply_time(
                 fault,
                 t0,
-                latency,
+                base,
                 addr,
-                1,
+                shape,
                 false,
                 p,
                 tid,
@@ -837,12 +852,14 @@ fn exec(
             record(trace, t0, TraceKind::ReadPair, addr, false);
             th.fset(fd1, f64::from_bits(raw1));
             th.fset(fd2, f64::from_bits(raw2));
+            let shape = load_shape(caches.is_some(), cache_hit, 2, config);
+            let base = net_base(net, latency, t0, p, addr, cache_hit, &shape);
             let reply = reply_time(
                 fault,
                 t0,
-                latency,
+                base,
                 addr,
-                2,
+                shape,
                 false,
                 p,
                 tid,
@@ -869,6 +886,18 @@ fn exec(
             }
             record(trace, t0, TraceKind::FetchAdd, addr, spin);
             th.rset(rd, old);
+            let shape = MsgShape {
+                req: MsgClass::FetchAddReq,
+                req_words: 1,
+                reply: MsgClass::FetchAddReply,
+                reply_words: 1,
+            };
+            // Every F&A crosses the network (even fire-and-forget ones):
+            // it occupies links and, under combining, can merge with or
+            // open a combining window for concurrent same-address adds.
+            let fa_base = net
+                .as_mut()
+                .map(|n| n.fetch_add(t0, p, addr, shape.req_bits(), shape.reply_bits()) - t0);
             if rd.is_zero() {
                 // Fire-and-forget arrival (barrier-style): no reply is
                 // awaited, so there is nothing for fault injection to drop
@@ -881,9 +910,9 @@ fn exec(
                 let reply = reply_time(
                     fault,
                     t0,
-                    latency,
+                    fa_base.unwrap_or(latency),
                     addr,
-                    1,
+                    shape,
                     spin,
                     p,
                     tid,
@@ -905,7 +934,7 @@ fn exec(
                 .try_write(addr, v)
                 .ok_or_else(|| bad_access(tid, pc0, "shared store", addr, shared.len()))?;
             counters.mutations += 1;
-            shared_store(config, p, addr, caches, traffic, spin, 1);
+            shared_store(config, net, t0, p, addr, caches, traffic, spin, 1);
             record(trace, t0, TraceKind::Write, addr, spin);
             Ok(store_outcome(config, proc))
         }
@@ -916,7 +945,7 @@ fn exec(
                 .try_write(addr, v)
                 .ok_or_else(|| bad_access(tid, pc0, "shared store", addr, shared.len()))?;
             counters.mutations += 1;
-            shared_store(config, p, addr, caches, traffic, false, 1);
+            shared_store(config, net, t0, p, addr, caches, traffic, false, 1);
             record(trace, t0, TraceKind::Write, addr, false);
             Ok(store_outcome(config, proc))
         }
@@ -931,7 +960,7 @@ fn exec(
                 .ok_or_else(|| bad_access(tid, pc0, "shared store-pair", addr + 1, shared.len()))?;
             counters.mutations += 1;
             record(trace, t0, TraceKind::WritePair, addr, false);
-            shared_store(config, p, addr, caches, traffic, false, 2);
+            shared_store(config, net, t0, p, addr, caches, traffic, false, 2);
             if let Some(c) = caches.as_mut() {
                 if addr / config.cache.line_words != (addr + 1) / config.cache.line_words {
                     let inv = c.store(p, addr + 1);
@@ -1017,6 +1046,70 @@ fn local_write_checked(
     th.try_local_write(addr, v).ok_or_else(|| bad_access(tid, pc, "local store", addr, len))
 }
 
+/// The request/reply message pair one shared access puts on the wire —
+/// drives both fault-recovery traffic accounting (resends and duplicates
+/// are billed as the *real* messages, not generic word loads) and network
+/// serialization delays.
+#[derive(Debug, Clone, Copy)]
+struct MsgShape {
+    req: MsgClass,
+    req_words: u64,
+    reply: MsgClass,
+    reply_words: u64,
+}
+
+impl MsgShape {
+    fn req_bits(&self) -> u64 {
+        message_bits(self.req, self.req_words)
+    }
+
+    fn reply_bits(&self) -> u64 {
+        message_bits(self.reply, self.reply_words)
+    }
+}
+
+/// Message shape of a shared read of `words` words: a cache miss fetches
+/// a whole line; everything else (no caches, spin polls, and hits — whose
+/// reply is served locally and unused) is a plain word-load pair.
+fn load_shape(cached: bool, cache_hit: bool, words: u64, config: &MachineConfig) -> MsgShape {
+    if cached && !cache_hit {
+        MsgShape {
+            req: MsgClass::LineReq,
+            req_words: 0,
+            reply: MsgClass::LineReply,
+            reply_words: config.cache.line_words,
+        }
+    } else {
+        MsgShape {
+            req: MsgClass::LoadReq,
+            req_words: 0,
+            reply: MsgClass::LoadReply,
+            reply_words: words,
+        }
+    }
+}
+
+/// Base (fault-free) reply latency of one shared access: a modeled
+/// network round trip when a contention topology is active and the
+/// access really goes to memory, otherwise the configured constant.
+/// Cache hits are served locally and never touch the network.
+fn net_base(
+    net: &mut Option<Network>,
+    constant: u64,
+    t0: u64,
+    p: usize,
+    addr: u64,
+    cache_hit: bool,
+    shape: &MsgShape,
+) -> u64 {
+    match net.as_mut() {
+        Some(n) if !cache_hit => {
+            n.round_trip(t0, p, addr, shape.req_bits(), shape.reply_bits()) - t0
+        }
+        _ => constant,
+    }
+}
+
 /// Computes the reply time of one reply-bearing shared request, running
 /// the retry protocol when fault injection is active. Faults are timing
 /// and traffic events only: the value was already taken from shared memory
@@ -1028,7 +1121,7 @@ fn reply_time(
     t0: u64,
     latency: u64,
     addr: u64,
-    words: u64,
+    shape: MsgShape,
     spin: bool,
     p: usize,
     tid: usize,
@@ -1046,7 +1139,10 @@ fn reply_time(
                     out.retries,
                     out.timeouts,
                     out.duplicates,
-                    words,
+                    shape.req,
+                    shape.req_words,
+                    shape.reply,
+                    shape.reply_words,
                     spin,
                 );
             }
@@ -1159,8 +1255,11 @@ fn lookup_cache(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn shared_store(
     config: &MachineConfig,
+    net: &mut Option<Network>,
+    t0: u64,
     p: usize,
     addr: u64,
     caches: &mut Option<CoherentCaches>,
@@ -1170,6 +1269,18 @@ fn shared_store(
 ) {
     let _ = config;
     traffic.record_store(words, spin);
+    // Stores are write-through and acknowledged but never waited on:
+    // the round trip still occupies network links (driving up queueing
+    // for the loads behind it) even though its completion time is moot.
+    if let Some(n) = net.as_mut() {
+        n.round_trip(
+            t0,
+            p,
+            addr,
+            message_bits(MsgClass::Store, words),
+            message_bits(MsgClass::StoreAck, 0),
+        );
+    }
     if let Some(c) = caches.as_mut() {
         let inv = c.store(p, addr);
         traffic.record_invalidations(inv);

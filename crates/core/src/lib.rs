@@ -50,6 +50,8 @@ pub use engine::{FinishedRun, Machine, ThreadImage};
 pub use model::{MachineConfig, SwitchModel};
 pub use stats::{DeadlockWaiter, ProcStats, RunLengthHist, RunResult, RunStats, SimError};
 
+pub use mtsim_mem::{NetStats, Network, NetworkConfig, Topology};
+
 #[cfg(test)]
 mod send_audit {
     //! Compile-time `Send`/`Sync` audit for the sweep pool contract

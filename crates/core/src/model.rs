@@ -1,7 +1,7 @@
 //! Multithreading models (the paper's Figure 1 taxonomy) and machine
 //! configuration.
 
-use mtsim_mem::{CacheParams, FaultConfig};
+use mtsim_mem::{CacheParams, FaultConfig, NetworkConfig};
 
 /// When a processor context-switches between its resident threads.
 ///
@@ -147,6 +147,13 @@ pub struct MachineConfig {
     /// delays, duplicates, latency distributions). The default is inactive
     /// — the paper's reliable constant-latency network.
     pub fault: FaultConfig,
+    /// Interconnection-network model (topology, link bandwidth,
+    /// combining). The default `constant` topology is the paper's
+    /// contention-free pipe: `latency` applies unchanged and no network
+    /// state is simulated. Under contention topologies `latency` is
+    /// replaced by modeled per-message round trips; the fault layer
+    /// composes on top of whichever base latency the network produces.
+    pub net: NetworkConfig,
 }
 
 impl Default for MachineConfig {
@@ -165,6 +172,7 @@ impl Default for MachineConfig {
             priority_scheduling: false,
             max_cycles: u64::MAX,
             fault: FaultConfig::default(),
+            net: NetworkConfig::constant(),
         }
     }
 }
@@ -234,6 +242,12 @@ impl MachineConfig {
         self
     }
 
+    /// Sets the interconnection-network configuration (builder style).
+    pub fn with_net(mut self, net: NetworkConfig) -> MachineConfig {
+        self.net = net;
+        self
+    }
+
     /// Validates the configuration, returning a description of the first
     /// problem found instead of panicking.
     pub fn try_validate(&self) -> Result<(), String> {
@@ -256,6 +270,12 @@ impl MachineConfig {
         if self.fault.is_active() && self.model == SwitchModel::Ideal {
             return Err("fault injection is meaningless on the ideal zero-latency machine".into());
         }
+        self.net.check()?;
+        if self.net.is_active() && self.model == SwitchModel::Ideal {
+            return Err(
+                "network simulation is meaningless on the ideal zero-latency machine".into()
+            );
+        }
         Ok(())
     }
 
@@ -276,6 +296,7 @@ impl MachineConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mtsim_mem::Topology;
 
     #[test]
     fn model_classification() {
@@ -335,6 +356,17 @@ mod tests {
         let fault = FaultConfig { drop_rate: 1.5, ..FaultConfig::default() };
         let c = MachineConfig::default().with_faults(fault);
         assert!(c.try_validate().is_err());
+    }
+
+    #[test]
+    fn net_rejected_on_ideal_machine() {
+        let net = NetworkConfig::new(Topology::Mesh);
+        let c = MachineConfig::ideal(4).with_net(net);
+        assert!(c.try_validate().unwrap_err().contains("ideal"));
+        let c = MachineConfig::default().with_net(net);
+        assert!(c.try_validate().is_ok());
+        let c = MachineConfig::default().with_net(net.with_link_bw(0));
+        assert!(c.try_validate().unwrap_err().contains("bandwidth"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Run statistics: run-length histograms (Tables 2 and 4), processor
 //! utilization, context-switch and grouping tallies.
 
-use mtsim_mem::{CacheStats, TraceEvent, Traffic};
+use mtsim_mem::{CacheStats, NetStats, TraceEvent, Traffic};
 
 /// Histogram of run-lengths — the cycles a thread executes between
 /// context switches (paper §4.1). Buckets are powers of two:
@@ -259,6 +259,16 @@ pub struct RunStats {
     pub retries: u64,
     /// Timeout-driven resends summed over all processors.
     pub timeouts: u64,
+    /// Network round trips carried (0 under the constant topology).
+    pub net_requests: u64,
+    /// Sum of network round-trip latencies.
+    pub net_latency_sum: u64,
+    /// Largest single network round-trip latency.
+    pub net_latency_max: u64,
+    /// Cycles messages spent queued on busy links or modules.
+    pub net_queue_cycles: u64,
+    /// Fetch-and-adds merged in-network by combining.
+    pub net_fa_combined: u64,
 }
 
 impl RunStats {
@@ -268,6 +278,15 @@ impl RunStats {
             return 0.0;
         }
         self.busy as f64 / (self.cycles as f64 * self.processors as f64)
+    }
+
+    /// Mean modeled network round-trip latency (0.0 under `constant`).
+    pub fn net_mean_latency(&self) -> f64 {
+        if self.net_requests == 0 {
+            0.0
+        } else {
+            self.net_latency_sum as f64 / self.net_requests as f64
+        }
     }
 }
 
@@ -301,6 +320,9 @@ pub struct RunResult {
     pub instructions: u64,
     /// Shared-access trace, when `MachineConfig::collect_trace` was set.
     pub trace: Option<Vec<TraceEvent>>,
+    /// Network statistics, when a contention topology (or combining) was
+    /// simulated; `None` under the paper's constant-latency pipe.
+    pub net: Option<NetStats>,
 }
 
 impl RunResult {
@@ -361,6 +383,11 @@ impl RunResult {
             reads_issued: self.reads_issued,
             retries: self.total_retries(),
             timeouts: self.total_timeouts(),
+            net_requests: self.net.map_or(0, |n| n.requests),
+            net_latency_sum: self.net.map_or(0, |n| n.latency_sum),
+            net_latency_max: self.net.map_or(0, |n| n.latency_max),
+            net_queue_cycles: self.net.map_or(0, |n| n.queue_cycles),
+            net_fa_combined: self.net.map_or(0, |n| n.fa_combined),
         }
     }
 
@@ -440,6 +467,7 @@ mod tests {
             scoreboard_stalls: 0,
             instructions: 120,
             trace: None,
+            net: None,
         };
         assert!((r.utilization() - 0.6).abs() < 1e-12);
         assert!((r.dynamic_grouping_factor() - 2.0).abs() < 1e-12);
@@ -492,11 +520,48 @@ mod tests {
             scoreboard_stalls: 0,
             instructions: 0,
             trace: None,
+            net: None,
         };
         r.per_proc[0].retries = 3;
         r.per_proc[1].retries = 4;
         r.per_proc[1].timeouts = 2;
         assert_eq!(r.total_retries(), 7);
         assert_eq!(r.total_timeouts(), 2);
+    }
+
+    #[test]
+    fn net_stats_flatten_into_run_stats() {
+        let mut r = RunResult {
+            cycles: 1,
+            per_proc: vec![ProcStats::default()],
+            run_lengths: RunLengthHist::new(),
+            switches_taken: 0,
+            switches_skipped: 0,
+            forced_switches: 0,
+            reads_issued: 0,
+            traffic: Traffic::new(),
+            cache: None,
+            one_line: (0, 0),
+            scoreboard_stalls: 0,
+            instructions: 0,
+            trace: None,
+            net: None,
+        };
+        assert_eq!(r.stats().net_requests, 0);
+        assert_eq!(r.stats().net_mean_latency(), 0.0);
+        r.net = Some(NetStats {
+            requests: 4,
+            latency_sum: 1000,
+            latency_max: 400,
+            queue_cycles: 120,
+            fa_requests: 2,
+            fa_combined: 1,
+        });
+        let s = r.stats();
+        assert_eq!(s.net_requests, 4);
+        assert_eq!(s.net_latency_max, 400);
+        assert_eq!(s.net_queue_cycles, 120);
+        assert_eq!(s.net_fa_combined, 1);
+        assert!((s.net_mean_latency() - 250.0).abs() < 1e-12);
     }
 }

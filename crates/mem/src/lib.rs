@@ -29,6 +29,13 @@
 //! Caches here are *timing and traffic* models: data values always come
 //! from [`SharedMemory`], which is kept coherent by construction because
 //! the engine applies every shared operation in global time order.
+//!
+//! Since PR 4 the constant-latency pipe is only the default *transport*:
+//! [`Network`] (re-exported from `mtsim-net`) models crossbar, 2D-mesh,
+//! and butterfly interconnects with finite link bandwidth, per-hop
+//! queueing, and optional in-switch fetch-and-add combining. The fault
+//! layer composes on top — network timing supplies the base latency that
+//! [`FaultPlan`] perturbs.
 
 mod cache;
 mod fault;
@@ -40,4 +47,6 @@ pub use cache::{CacheParams, CacheStats, CoherentCaches, OneLineCache};
 pub use fault::{FaultConfig, FaultPlan, LatencyDist, ReplyOutcome, RetryExhausted};
 pub use shared::SharedMemory;
 pub use trace::{TraceEvent, TraceKind};
-pub use traffic::{MsgClass, Traffic, ADDR_BITS, HDR_BITS, WORD_BITS};
+pub use traffic::{message_bits, MsgClass, Traffic, ADDR_BITS, HDR_BITS, WORD_BITS};
+
+pub use mtsim_net::{NetStats, Network, NetworkConfig, Topology};

@@ -165,6 +165,7 @@ impl SweepOutcome {
             j.key("latency").u64(s.latency);
             j.key("seed").u64(s.seed);
             j.key("drop_rate").f64(s.drop_rate);
+            j.key("net").string(s.net.name());
             match &job.result {
                 Ok(r) => {
                     j.key("status").string("ok");
@@ -181,6 +182,9 @@ impl SweepOutcome {
                     j.key("retries").u64(r.retries);
                     j.key("timeouts").u64(r.timeouts);
                     j.key("utilization").f64(r.utilization());
+                    j.key("net_requests").u64(r.net_requests);
+                    j.key("net_queue_cycles").u64(r.net_queue_cycles);
+                    j.key("net_fa_combined").u64(r.net_fa_combined);
                 }
                 Err(e) => {
                     j.key("status").string("error");
@@ -205,14 +209,15 @@ impl SweepOutcome {
     /// determinism contract as [`SweepOutcome::results_json`]).
     pub fn results_csv(&self) -> String {
         let mut out = String::from(
-            "id,app,model,scale,procs,threads,latency,seed,drop_rate,status,cycles,instructions,\
-             busy,idle,overhead,stalls,switches_taken,switches_skipped,forced_switches,\
-             reads_issued,retries,timeouts,utilization,error_kind\n",
+            "id,app,model,scale,procs,threads,latency,seed,drop_rate,net,status,cycles,\
+             instructions,busy,idle,overhead,stalls,switches_taken,switches_skipped,\
+             forced_switches,reads_issued,retries,timeouts,utilization,net_requests,\
+             net_queue_cycles,net_fa_combined,error_kind\n",
         );
         for job in &self.jobs {
             let s = &job.spec;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},",
+                "{},{},{},{},{},{},{},{},{},{},",
                 s.id,
                 s.app.name(),
                 s.model.name(),
@@ -221,11 +226,12 @@ impl SweepOutcome {
                 s.threads_per_proc,
                 s.latency,
                 s.seed,
-                s.drop_rate
+                s.drop_rate,
+                s.net.name()
             ));
             match &job.result {
                 Ok(r) => out.push_str(&format!(
-                    "ok,{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
+                    "ok,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
                     r.cycles,
                     r.instructions,
                     r.busy,
@@ -238,10 +244,13 @@ impl SweepOutcome {
                     r.reads_issued,
                     r.retries,
                     r.timeouts,
-                    r.utilization()
+                    r.utilization(),
+                    r.net_requests,
+                    r.net_queue_cycles,
+                    r.net_fa_combined
                 )),
                 Err(e) => {
-                    out.push_str(&format!("error,,,,,,,,,,,,,,{}\n", e.kind()));
+                    out.push_str(&format!("error,,,,,,,,,,,,,,,,,{}\n", e.kind()));
                 }
             }
         }

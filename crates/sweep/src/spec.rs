@@ -1,7 +1,7 @@
 //! Declarative sweep specifications and their expansion into jobs.
 
 use mtsim_apps::{AppKind, Scale};
-use mtsim_core::{MachineConfig, SwitchModel};
+use mtsim_core::{MachineConfig, NetworkConfig, SwitchModel, Topology};
 use mtsim_mem::FaultConfig;
 
 /// A declarative experiment grid: the cartesian product of every axis,
@@ -28,6 +28,13 @@ pub struct SweepSpec {
     pub seeds: Vec<u64>,
     /// Reply drop rates (0.0 disables fault injection for that point).
     pub drop_rates: Vec<f64>,
+    /// Interconnection-network topologies (PR 4). `Constant` is the
+    /// paper's contention-free pipe and simulates no network at all.
+    pub nets: Vec<Topology>,
+    /// Link bandwidth in bits/cycle for contention topologies.
+    pub link_bw: u64,
+    /// Whether switches combine concurrent fetch-and-adds (§ combining).
+    pub combining: bool,
     /// Workload scale preset.
     pub scale: Scale,
     /// Watchdog limit per job, in cycles.
@@ -49,6 +56,9 @@ impl Default for SweepSpec {
             latencies: vec![200],
             seeds: vec![0],
             drop_rates: vec![0.0],
+            nets: vec![Topology::Constant],
+            link_bw: NetworkConfig::constant().link_bw,
+            combining: false,
             scale: Scale::Small,
             max_cycles: DEFAULT_MAX_CYCLES,
             max_retries: 8,
@@ -107,6 +117,30 @@ impl SweepSpec {
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "net" | "nets" => {
+                self.nets = if value == "all" {
+                    Topology::ALL.to_vec()
+                } else {
+                    value
+                        .split(',')
+                        .map(|s| {
+                            Topology::from_name(s.trim())
+                                .ok_or_else(|| format!("unknown topology {:?}", s.trim()))
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+            }
+            "link-bw" | "link_bw" => {
+                self.link_bw =
+                    value.parse().map_err(|_| ctx(key, &format!("bad integer {value:?}")))?;
+            }
+            "combining" => {
+                self.combining = match value {
+                    "true" | "1" | "on" | "yes" => true,
+                    "false" | "0" | "off" | "no" => false,
+                    _ => return Err(ctx(key, &format!("bad boolean {value:?}"))),
+                };
+            }
             "scale" => {
                 self.scale =
                     Scale::from_name(value).ok_or_else(|| format!("unknown scale {value:?}"))?;
@@ -159,6 +193,7 @@ impl SweepSpec {
             ("latencies", self.latencies.is_empty()),
             ("seeds", self.seeds.is_empty()),
             ("drop rates", self.drop_rates.is_empty()),
+            ("nets", self.nets.is_empty()),
         ] {
             if empty {
                 return Err(format!("sweep axis {name:?} is empty"));
@@ -169,6 +204,9 @@ impl SweepSpec {
         }
         if self.drop_rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
             return Err("drop rates must lie in [0, 1]".into());
+        }
+        if self.link_bw == 0 {
+            return Err("link bandwidth must be >= 1 bit/cycle".into());
         }
         Ok(())
     }
@@ -182,6 +220,7 @@ impl SweepSpec {
             * self.latencies.len()
             * self.seeds.len()
             * self.drop_rates.len()
+            * self.nets.len()
     }
 
     /// True when the grid has no points.
@@ -190,7 +229,7 @@ impl SweepSpec {
     }
 
     /// Expands the grid into concrete jobs in deterministic nested-axis
-    /// order (app, model, P, T, latency, seed, drop rate), assigning
+    /// order (app, model, P, T, latency, seed, drop rate, net), assigning
     /// sequential ids. The id — not submission or completion order — keys
     /// the result table, so the output is reproducible at any worker
     /// count.
@@ -203,19 +242,24 @@ impl SweepSpec {
                         for &latency in &self.latencies {
                             for &seed in &self.seeds {
                                 for &drop_rate in &self.drop_rates {
-                                    jobs.push(JobSpec {
-                                        id: jobs.len(),
-                                        app,
-                                        model,
-                                        procs,
-                                        threads_per_proc,
-                                        latency,
-                                        seed,
-                                        drop_rate,
-                                        scale: self.scale,
-                                        max_cycles: self.max_cycles,
-                                        max_retries: self.max_retries,
-                                    });
+                                    for &net in &self.nets {
+                                        jobs.push(JobSpec {
+                                            id: jobs.len(),
+                                            app,
+                                            model,
+                                            procs,
+                                            threads_per_proc,
+                                            latency,
+                                            seed,
+                                            drop_rate,
+                                            net,
+                                            link_bw: self.link_bw,
+                                            combining: self.combining,
+                                            scale: self.scale,
+                                            max_cycles: self.max_cycles,
+                                            max_retries: self.max_retries,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -274,6 +318,12 @@ pub struct JobSpec {
     pub seed: u64,
     /// Reply drop rate; 0.0 disables fault injection.
     pub drop_rate: f64,
+    /// Interconnection-network topology (`Constant` = no network).
+    pub net: Topology,
+    /// Link bandwidth in bits/cycle for contention topologies.
+    pub link_bw: u64,
+    /// Whether switches combine concurrent fetch-and-adds.
+    pub combining: bool,
     /// Workload scale.
     pub scale: Scale,
     /// Watchdog limit in cycles.
@@ -301,6 +351,15 @@ impl JobSpec {
                 max_retries: self.max_retries,
                 ..FaultConfig::default()
             });
+        }
+        // Network simulation is meaningless on the zero-latency ideal
+        // machine, so the grid quietly pins that cell to the constant pipe
+        // (mirrors the latency override above).
+        if self.model != SwitchModel::Ideal {
+            let mut net = NetworkConfig::new(self.net);
+            net.link_bw = self.link_bw;
+            net.combining = self.combining;
+            cfg = cfg.with_net(net);
         }
         cfg
     }
@@ -356,6 +415,41 @@ mod tests {
         assert!(s.validate().is_err());
         let s = SweepSpec { drop_rates: vec![1.5], ..SweepSpec::default() };
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn net_axis_expands_and_wires_into_the_config() {
+        let mut s = SweepSpec::default();
+        s.set("net", "constant,mesh").unwrap();
+        s.set("link-bw", "8").unwrap();
+        s.set("combining", "true").unwrap();
+        assert_eq!(s.len(), 4); // 2 threads × 2 nets
+        let jobs = s.expand();
+        assert_eq!(jobs[0].net, Topology::Constant);
+        assert_eq!(jobs[1].net, Topology::Mesh);
+        let cfg = jobs[1].config();
+        assert_eq!(cfg.net.topology, Topology::Mesh);
+        assert_eq!(cfg.net.link_bw, 8);
+        assert!(cfg.net.combining);
+        assert!(s.set("net", "torus").is_err());
+        assert!(s.set("combining", "maybe").is_err());
+
+        let mut s = SweepSpec::default();
+        s.set("nets", "all").unwrap();
+        assert_eq!(s.nets.len(), Topology::ALL.len());
+    }
+
+    #[test]
+    fn ideal_machine_pins_the_net_axis_to_constant() {
+        let spec = SweepSpec {
+            models: vec![SwitchModel::Ideal],
+            nets: vec![Topology::Butterfly],
+            combining: true,
+            ..SweepSpec::default()
+        };
+        let cfg = spec.expand()[0].config();
+        assert!(!cfg.net.is_active(), "ideal machine must not simulate a network");
+        assert!(cfg.try_validate().is_ok());
     }
 
     #[test]

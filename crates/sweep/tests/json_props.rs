@@ -267,7 +267,8 @@ fn same(a: &Value, b: &Value) -> bool {
             x.len() == y.len() && x.iter().zip(y).all(|(i, k)| same(i, k))
         }
         (Value::Obj(x), Value::Obj(y)) => {
-            x.len() == y.len() && x.iter().zip(y).all(|((ka, va), (kb, vb))| ka == kb && same(va, vb))
+            x.len() == y.len()
+                && x.iter().zip(y).all(|((ka, va), (kb, vb))| ka == kb && same(va, vb))
         }
         _ => a == b,
     }
@@ -351,6 +352,9 @@ fn random_nested_documents_roundtrip() {
         let text = j.finish();
         let parsed = Parser::parse_document(&text)
             .unwrap_or_else(|e| panic!("case {case}: invalid JSON {text:?}: {e}"));
-        assert!(same(&parsed, &doc), "case {case}:\n  doc    {doc:?}\n  text   {text:?}\n  parsed {parsed:?}");
+        assert!(
+            same(&parsed, &doc),
+            "case {case}:\n  doc    {doc:?}\n  text   {text:?}\n  parsed {parsed:?}"
+        );
     }
 }

@@ -131,11 +131,9 @@ fn rejects_wrong_field_counts() {
 
 #[test]
 fn rejects_non_numeric_fields_with_line_numbers() {
-    for (text, line) in [
-        ("x 0 0 r 5\n", 1),
-        ("# ok\n1 0 0 r notanaddr\n", 2),
-        ("1 0 0 r 5\n\n-3 0 0 r 5\n", 3),
-    ] {
+    for (text, line) in
+        [("x 0 0 r 5\n", 1), ("# ok\n1 0 0 r notanaddr\n", 2), ("1 0 0 r 5\n\n-3 0 0 r 5\n", 3)]
+    {
         let err = load_trace(text).unwrap_err();
         assert_eq!(err.line, line, "input {text:?}");
         assert!(err.message.contains("bad number"), "{}", err.message);

@@ -70,11 +70,13 @@ fn miscompiled_fixture_is_caught_and_shrunk() {
             Stmt::AssignI(1, IE::LoadOut(0)),
             Stmt::StoreOut(1, IE::Bin(AluOp::Add, Box::new(IE::Var(1)), Box::new(IE::Const(1)))),
             Stmt::FaaAcc(0, IE::Const(3)),
-            Stmt::For(2, vec![Stmt::AssignI(2, IE::Bin(
-                AluOp::Add,
-                Box::new(IE::Var(2)),
-                Box::new(IE::Const(1)),
-            ))]),
+            Stmt::For(
+                2,
+                vec![Stmt::AssignI(
+                    2,
+                    IE::Bin(AluOp::Add, Box::new(IE::Var(2)), Box::new(IE::Const(1))),
+                )],
+            ),
         ],
     };
     assert!(miscompile_detected(&tp), "fixture miscompile was not caught");
