@@ -2,7 +2,7 @@
 //! and the paper's efficiency metric.
 
 use mtsim_asm::Program;
-use mtsim_core::{Machine, MachineConfig, RunResult, SimError, SwitchModel};
+use mtsim_core::{Machine, MachineConfig, ObsRecorder, RunResult, SimError, SwitchModel};
 use mtsim_mem::SharedMemory;
 use mtsim_opt::{group_shared_loads, GroupStats};
 
@@ -145,6 +145,41 @@ pub fn run_app(app: &BuiltApp, cfg: MachineConfig) -> Result<RunResult, RunError
         .map_err(|err| RunError::Sim { app: app.name.clone(), err })?;
     app.verify(&fin.shared).map_err(|detail| RunError::Verify { app: app.name.clone(), detail })?;
     Ok(fin.result)
+}
+
+/// Runs `app` under `cfg` with a full observability recorder attached
+/// (event trace, cycle attribution, histograms — DESIGN.md §17), and
+/// verifies the result. `ring_capacity` bounds the event trace; the ring
+/// keeps the most recent events and counts the rest as dropped.
+///
+/// # Errors
+///
+/// Same contract as [`run_app`].
+pub fn profile_app(
+    app: &BuiltApp,
+    cfg: MachineConfig,
+    ring_capacity: usize,
+) -> Result<(RunResult, ObsRecorder), RunError> {
+    if cfg.total_threads() != app.nthreads {
+        return Err(RunError::Sim {
+            app: app.name.clone(),
+            err: SimError::Config {
+                detail: format!(
+                    "app was built for {} threads, config asks for {}",
+                    app.nthreads,
+                    cfg.total_threads()
+                ),
+            },
+        });
+    }
+    let mut rec = ObsRecorder::with_capacity(cfg.processors, cfg.total_threads(), ring_capacity);
+    let program =
+        if cfg.model.uses_explicit_switch() { app.grouped().0 } else { app.program.clone() };
+    let fin = Machine::try_new(cfg, &program, app.shared.clone())
+        .and_then(|m| m.run_with(&mut rec))
+        .map_err(|err| RunError::Sim { app: app.name.clone(), err })?;
+    app.verify(&fin.shared).map_err(|detail| RunError::Verify { app: app.name.clone(), detail })?;
+    Ok((fin.result, rec))
 }
 
 /// Runs `app` with an explicitly chosen program variant (used by the

@@ -31,8 +31,8 @@ pub mod ugray;
 pub mod water;
 
 pub use harness::{
-    baseline_cycles, efficiency, run_app, run_app_with_program, threads_for_efficiency, BuiltApp,
-    RunError,
+    baseline_cycles, efficiency, profile_app, run_app, run_app_with_program,
+    threads_for_efficiency, BuiltApp, RunError,
 };
 
 /// The seven applications of the paper's Table 1.

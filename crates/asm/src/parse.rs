@@ -175,10 +175,16 @@ fn parse_memory_or_branch(mnemonic: &str, ops: &[&str]) -> Result<Inst, String> 
     }
 
     // Memory mnemonics: base "ld"/"st"/"fld"/"fst"/"ldd"/"std"/"faa" with
-    // ".l"/".s" space suffix and optional ".spin" hint suffix.
-    let (stem, hint) = match mnemonic.strip_suffix(".spin") {
-        Some(s) => (s, AccessHint::Spin),
-        None => (mnemonic, AccessHint::Data),
+    // ".l"/".s" space suffix and an optional ".spin"/".barrier"/".rel"
+    // hint suffix.
+    let (stem, hint) = if let Some(s) = mnemonic.strip_suffix(".spin") {
+        (s, AccessHint::Spin)
+    } else if let Some(s) = mnemonic.strip_suffix(".barrier") {
+        (s, AccessHint::Barrier)
+    } else if let Some(s) = mnemonic.strip_suffix(".rel") {
+        (s, AccessHint::Release)
+    } else {
+        (mnemonic, AccessHint::Data)
     };
     if stem == "faa" {
         let [rd, rs, mem] = three(ops)?;

@@ -250,6 +250,7 @@ fn baseline_job(id: usize, app: AppKind, scale: Scale) -> JobSpec {
         net: Topology::Constant,
         link_bw: NetworkConfig::constant().link_bw,
         combining: false,
+        attr: false,
         scale,
         max_cycles: MAX_CYCLES,
         max_retries: 8,
@@ -299,6 +300,7 @@ pub fn mt_table(scale: Scale, model: SwitchModel, workers: Option<usize>) -> Vec
                 net: Topology::Constant,
                 link_bw: NetworkConfig::constant().link_bw,
                 combining: false,
+                attr: false,
                 scale,
                 max_cycles: MAX_CYCLES,
                 max_retries: 8,
@@ -624,6 +626,7 @@ pub fn latency_sweep(
                 net: Topology::Constant,
                 link_bw: NetworkConfig::constant().link_bw,
                 combining: false,
+                attr: false,
                 scale,
                 max_cycles: MAX_CYCLES,
                 max_retries: 8,
@@ -729,6 +732,7 @@ pub fn net_contention(
                     net: topology,
                     link_bw: NetworkConfig::constant().link_bw,
                     combining,
+                    attr: false,
                     scale,
                     max_cycles: MAX_CYCLES,
                     max_retries: 8,

@@ -14,13 +14,21 @@
 //!                [--seed N] [--fault-drop R] [--fault-delay R]
 //!                [--fault-dup R] [--latency-dist D] [--max-retries N]
 //!                [--net T] [--link-bw N] [--combining]
+//! mtsim profile <app> [--model M] [-p N] [-t N] [--scale S] [--latency N]
+//!                [--out trace.json] [--ring N] [--attr] [fault/net flags]
 //! mtsim sweep [--spec FILE] [--apps A,B|all] [--models M,N|all] [--p LIST]
 //!             [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]
-//!             [--net LIST|all] [--link-bw N] [--combining]
+//!             [--net LIST|all] [--link-bw N] [--combining] [--attr]
 //!             [--scale S] [--max-cycles N] [--max-retries N]
 //!             [--jobs N] [--out results.json] [--csv results.csv] [--quiet]
 //! mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N]
 //! ```
+//!
+//! `profile` runs one application with the full observability recorder
+//! attached (DESIGN.md §17) and writes a Chrome/Perfetto trace-event JSON
+//! file (load it at <https://ui.perfetto.dev>). `--ring` bounds the event
+//! ring (most recent events win); `--attr` additionally prints the
+//! per-thread cycle-attribution flame table on stdout.
 //!
 //! `check` is the differential-testing driver (DESIGN.md §15): it
 //! generates `--fuzz` random race-free programs from `--seed` (decimal or
@@ -59,8 +67,8 @@
 mod flags;
 
 use flags::{net_config, parse_latency_dist, FlagError};
-use mtsim_apps::{build_app, run_app, AppKind, Scale};
-use mtsim_core::{MachineConfig, SwitchModel};
+use mtsim_apps::{build_app, profile_app, run_app, AppKind, Scale};
+use mtsim_core::{MachineConfig, StreamHist, SwitchModel};
 use mtsim_mem::FaultConfig;
 use mtsim_sweep::{SweepOpts, SweepSpec};
 
@@ -71,7 +79,7 @@ const EXIT_USAGE: i32 = 2;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n             [--net constant|crossbar|mesh|butterfly] [--link-bw N] [--combining]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault/net flags]\n  mtsim sweep [--spec FILE] [--apps LIST|all] [--models LIST|all] [--p LIST]\n              [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]\n              [--net LIST|all] [--link-bw N] [--combining]\n              [--scale S] [--max-cycles N] [--max-retries N]\n              [--jobs N] [--out FILE.json] [--csv FILE.csv] [--quiet]\n  mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N]\n\napps: {}\nmodels: {}",
+        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n             [--net constant|crossbar|mesh|butterfly] [--link-bw N] [--combining]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault/net flags]\n  mtsim profile <app> [--model M] [-p N] [-t N] [--scale S] [--latency N]\n              [--out trace.json] [--ring N] [--attr] [fault/net flags]\n  mtsim sweep [--spec FILE] [--apps LIST|all] [--models LIST|all] [--p LIST]\n              [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]\n              [--net LIST|all] [--link-bw N] [--combining] [--attr]\n              [--scale S] [--max-cycles N] [--max-retries N]\n              [--jobs N] [--out FILE.json] [--csv FILE.csv] [--quiet]\n  mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N]\n\napps: {}\nmodels: {}",
         AppKind::ALL.map(|a| a.name()).join(", "),
         SwitchModel::ALL.map(|m| m.name()).join(", ")
     );
@@ -222,6 +230,13 @@ fn main() {
             value_flags.extend(NET_FLAGS);
             cmd_run(&Args::parse(&value_flags, &["priority", "estimate", "stats", "combining"]))
         }
+        Some("profile") => {
+            let mut value_flags =
+                vec!["model", "p", "t", "scale", "latency", "max-run", "max-cycles", "out", "ring"];
+            value_flags.extend(FAULT_FLAGS);
+            value_flags.extend(NET_FLAGS);
+            cmd_profile(&Args::parse(&value_flags, &["attr", "combining"]))
+        }
         Some("compile") => cmd_compile(&Args::parse(&["t"], &["grouped"])),
         Some("run-file") => {
             let mut value_flags = vec!["model", "p", "t", "max-cycles"];
@@ -248,7 +263,7 @@ fn main() {
                 "out",
                 "csv",
             ],
-            &["quiet", "combining"],
+            &["quiet", "combining", "attr"],
         )),
         Some("check") => cmd_check(&Args::parse(&["fuzz", "seed", "jobs", "shrink-budget"], &[])),
         _ => usage(),
@@ -328,6 +343,9 @@ fn cmd_sweep(args: &Args) {
     }
     if args.has("combining") {
         spec.set("combining", "true").unwrap_or_else(|e| bad_usage(&e));
+    }
+    if args.has("attr") {
+        spec.set("attr", "true").unwrap_or_else(|e| bad_usage(&e));
     }
     if let Some(s) = args.get("scale") {
         spec.scale = parse_scale(s);
@@ -452,13 +470,19 @@ fn validate_or_die(cfg: &MachineConfig) {
 }
 
 /// Prints the modeled-network summary line when a network was simulated.
-fn print_net_stats(cfg: &MachineConfig, r: &mtsim_core::RunResult) {
+/// With a latency histogram (from a recorder-attached run) the line
+/// reports p50/p99 round-trip latency; without one it falls back to the
+/// mean.
+fn print_net_stats(cfg: &MachineConfig, r: &mtsim_core::RunResult, lat: Option<&StreamHist>) {
     if let Some(n) = r.net {
+        let latency = match lat.filter(|h| h.count() > 0) {
+            Some(h) => format!("latency p50 {} p99 {}", h.p50(), h.p99()),
+            None => format!("mean latency {:.1}", n.mean_latency()),
+        };
         println!(
-            "  network       {} ({} round trips, mean latency {:.1}, max {}, {} queue cycles{})",
+            "  network       {} ({} round trips, {latency}, max {}, {} queue cycles{})",
             cfg.net.topology,
             n.requests,
-            n.mean_latency(),
             n.latency_max,
             n.queue_cycles,
             if cfg.net.combining {
@@ -466,6 +490,19 @@ fn print_net_stats(cfg: &MachineConfig, r: &mtsim_core::RunResult) {
             } else {
                 String::new()
             }
+        );
+    }
+}
+
+/// Prints the shared-load round-trip latency percentile line when the
+/// histogram saw at least one reply-bearing load.
+fn print_latency_stats(h: &StreamHist) {
+    if h.count() > 0 {
+        println!(
+            "  latency       p50 {} p99 {} round-trip cycles ({} shared loads)",
+            h.p50(),
+            h.p99(),
+            h.count()
         );
     }
 }
@@ -502,9 +539,15 @@ fn cmd_run_file(args: &Args) {
         unit.program.clone()
     };
     let mem = mtsim_mem::SharedMemory::new(unit.shared_words());
-    let fin = match mtsim_core::Machine::try_new(cfg.clone(), &program, mem)
-        .and_then(mtsim_core::Machine::run)
-    {
+    let mut rec = args
+        .has("stats")
+        .then(|| mtsim_core::ObsRecorder::with_capacity(cfg.processors, cfg.total_threads(), 1));
+    let machine = mtsim_core::Machine::try_new(cfg.clone(), &program, mem);
+    let fin = match rec.as_mut() {
+        Some(r) => machine.and_then(|m| m.run_with(r)),
+        None => machine.and_then(mtsim_core::Machine::run),
+    };
+    let fin = match fin {
         Ok(f) => f,
         Err(e) => {
             eprintln!("run failed: {e}");
@@ -530,7 +573,11 @@ fn cmd_run_file(args: &Args) {
             fin.result.run_lengths.mean(),
             fin.result.bits_per_cycle()
         );
-        print_net_stats(&cfg, &fin.result);
+        let lat = rec.as_ref().map(|rec| &rec.load_latency);
+        if let Some(h) = lat {
+            print_latency_stats(h);
+        }
+        print_net_stats(&cfg, &fin.result, lat);
         print_fault_stats(&cfg, &fin.result);
     }
 }
@@ -559,11 +606,24 @@ fn cmd_run(args: &Args) {
     validate_or_die(&cfg);
 
     let app = build_app(kind, scale, procs * threads);
-    let r = match run_app(&app, cfg.clone()) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("run failed: {e}");
-            std::process::exit(EXIT_RUN_FAILED);
+    // `--stats` attaches a recorder (tiny ring: only the histograms are
+    // read) so the latency percentiles come from real per-load samples;
+    // the simulation itself is bit-identical either way.
+    let (r, rec) = if args.has("stats") {
+        match profile_app(&app, cfg.clone(), 1) {
+            Ok((r, rec)) => (r, Some(rec)),
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                std::process::exit(EXIT_RUN_FAILED);
+            }
+        }
+    } else {
+        match run_app(&app, cfg.clone()) {
+            Ok(r) => (r, None),
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                std::process::exit(EXIT_RUN_FAILED);
+            }
         }
     };
 
@@ -598,7 +658,82 @@ fn cmd_run(args: &Args) {
             );
         }
         println!("  scoreboard    {} stall cycles", r.scoreboard_stalls);
-        print_net_stats(&cfg, &r);
+        let lat = rec.as_ref().map(|rec| &rec.load_latency);
+        if let Some(h) = lat {
+            print_latency_stats(h);
+        }
+        print_net_stats(&cfg, &r, lat);
         print_fault_stats(&cfg, &r);
+    }
+}
+
+fn cmd_profile(args: &Args) {
+    let Some(app_name) = args.positional.get(1) else { usage() };
+    let kind = parse_app(app_name);
+    let model = args.get("model").map(parse_model).unwrap_or(SwitchModel::SwitchOnLoad);
+    let procs: usize = args.get("p").map(|v| parse_num("p", v)).unwrap_or(4);
+    let threads: usize = args.get("t").map(|v| parse_num("t", v)).unwrap_or(4);
+    let scale = args.get("scale").map(parse_scale).unwrap_or(Scale::Small);
+
+    let mut cfg = MachineConfig::new(model, procs, threads);
+    if let Some(l) = args.get("latency") {
+        cfg.latency = parse_num("latency", l);
+    }
+    if let Some(mr) = args.get("max-run") {
+        cfg.max_run = if mr == "off" { None } else { Some(parse_num("max-run", mr)) };
+    }
+    cfg.max_cycles =
+        args.get("max-cycles").map(|v| parse_num("max-cycles", v)).unwrap_or(5_000_000_000);
+    cfg.fault = fault_config(args);
+    cfg.net = net_from_args(args);
+    validate_or_die(&cfg);
+
+    let ring: usize =
+        args.get("ring").map(|v| parse_num("ring", v)).unwrap_or(mtsim_core::DEFAULT_RING_CAPACITY);
+    if ring == 0 {
+        bad_usage("--ring must be >= 1");
+    }
+
+    let app = build_app(kind, scale, procs * threads);
+    let (r, rec) = match profile_app(&app, cfg.clone(), ring) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(EXIT_RUN_FAILED);
+        }
+    };
+
+    let out_path = args.get("out").unwrap_or("trace.json");
+    std::fs::write(out_path, rec.chrome_trace()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(EXIT_USAGE);
+    });
+
+    println!("{app_name} on {model}: {procs} procs x {threads} threads (scale {scale:?})");
+    println!("  cycles        {}", r.cycles);
+    println!(
+        "  trace         {} events ({} dropped) -> {out_path}",
+        rec.events.len(),
+        rec.events.dropped()
+    );
+    print_latency_stats(&rec.load_latency);
+    if rec.run_lengths.count() > 0 {
+        println!(
+            "  run-length    p50 {} p99 {} busy cycles between switches",
+            rec.run_lengths.p50(),
+            rec.run_lengths.p99()
+        );
+    }
+    if rec.queue_residency.count() > 0 {
+        println!(
+            "  net queueing  p50 {} p99 {} cycles per message",
+            rec.queue_residency.p50(),
+            rec.queue_residency.p99()
+        );
+    }
+    print_net_stats(&cfg, &r, Some(&rec.load_latency));
+    print_fault_stats(&cfg, &r);
+    if args.has("attr") {
+        print!("{}", rec.flame_table());
     }
 }

@@ -20,6 +20,7 @@ use mtsim_mem::{
     message_bits, CoherentCaches, FaultPlan, MsgClass, Network, SharedMemory, TraceEvent,
     TraceKind, Traffic,
 };
+use mtsim_obs::{Cat, EventKind, Metric, NoopRecorder, Recorder, SwitchCause};
 
 #[derive(Debug, Default)]
 struct Counters {
@@ -47,7 +48,7 @@ struct Proc {
 
 enum Outcome {
     Continue,
-    Yield { wake: u64 },
+    Yield { wake: u64, cause: SwitchCause },
     Halt,
 }
 
@@ -202,7 +203,23 @@ impl Machine {
     ///   retry budget under fault injection;
     /// * [`SimError::BadProgram`] when the simulated program performs a
     ///   wild memory access or runs off the end of its code.
-    pub fn run(mut self) -> Result<FinishedRun, SimError> {
+    pub fn run(self) -> Result<FinishedRun, SimError> {
+        self.run_with(&mut NoopRecorder)
+    }
+
+    /// Runs all threads to completion with an observability [`Recorder`]
+    /// attached. The engine is monomorphized per recorder type:
+    /// [`Machine::run`] passes the no-op recorder, whose empty inline
+    /// hooks compile away, so the undecorated path is the seed engine —
+    /// bit-identical results, no measurable overhead. A real recorder
+    /// (e.g. `mtsim_obs::ObsRecorder`) observes events, per-thread cycle
+    /// attribution, and histogram samples without feeding anything back
+    /// into the simulation, so results are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Machine::run`].
+    pub fn run_with<R: Recorder>(mut self, rec: &mut R) -> Result<FinishedRun, SimError> {
         let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
         let mut seq: u64 = 0;
         for p in 0..self.procs.len() {
@@ -219,7 +236,7 @@ impl Machine {
             }
             self.procs[p].time = self.procs[p].time.max(t);
             let peek = heap.peek().map(|r| r.0 .0).unwrap_or(u64::MAX);
-            match self.step_proc(p, peek)? {
+            match self.step_proc(p, peek, rec)? {
                 StepOut::Reschedule(at) => {
                     heap.push(Reverse((at, seq, p)));
                     seq += 1;
@@ -230,6 +247,16 @@ impl Machine {
         debug_assert!(self.threads.iter().all(|t| t.halted), "event queue drained early");
 
         let cycles = self.procs.iter().map(|p| p.stats.finish_time).max().unwrap_or(0);
+        if R::ENABLED {
+            // End-of-run slack: a processor that finished early idles until
+            // the machine-wide completion cycle. Everything before its
+            // finish time was already charged cycle-by-cycle, so this
+            // closes the attribution conservation law.
+            for (p, proc) in self.procs.iter().enumerate() {
+                rec.charge_idle(p, cycles - proc.stats.finish_time);
+            }
+            rec.finish_run(cycles);
+        }
         let one_line = self
             .threads
             .iter()
@@ -260,7 +287,12 @@ impl Machine {
 
     /// Executes processor `p` from its current time until it must hand
     /// control back to the event loop.
-    fn step_proc(&mut self, p: usize, peek: u64) -> Result<StepOut, SimError> {
+    fn step_proc<R: Recorder>(
+        &mut self,
+        p: usize,
+        peek: u64,
+        rec: &mut R,
+    ) -> Result<StepOut, SimError> {
         // Split borrows once for the whole batch.
         let config = &self.config;
         let program = &self.program;
@@ -320,10 +352,26 @@ impl Machine {
                 match pick {
                     Some(i) => {
                         proc.current = proc.queue.remove(i);
+                        if R::ENABLED {
+                            rec.event(
+                                proc.time,
+                                p,
+                                proc.current.expect("picked"),
+                                EventKind::SwitchIn,
+                            );
+                        }
                     }
                     None => {
-                        let wake =
-                            proc.queue.iter().map(|&t| threads[t].wake).min().expect("nonempty");
+                        // `min_by_key` keeps the first of equal wakes, so
+                        // the chosen (wake, thread) pair is deterministic
+                        // and the wake value matches the former plain
+                        // `min()` over wake times.
+                        let (wtid, wake) = proc
+                            .queue
+                            .iter()
+                            .map(|&t| (t, threads[t].wake))
+                            .min_by_key(|&(_, w)| w)
+                            .expect("nonempty");
                         // No lost wakeups: a sleep is only legal when every
                         // resident thread really wakes strictly later.
                         #[cfg(feature = "debug-invariants")]
@@ -331,6 +379,13 @@ impl Machine {
                             wake > now,
                             "lost wakeup on processor {p}: thread runnable at {now} but not picked"
                         );
+                        // Attribution: the sleep ends when its earliest
+                        // thread wakes, so the whole gap is that thread's
+                        // wait — memory stall (including fault-retry
+                        // backoff, which merely pushes the wake time out),
+                        // lock spin, or barrier wait, as tagged when it
+                        // yielded. True idle is only end-of-run slack.
+                        rec.charge(wtid, threads[wtid].wait, wake - proc.time);
                         proc.stats.idle += wake - proc.time;
                         proc.time = wake;
                         return Ok(StepOut::Reschedule(wake));
@@ -377,7 +432,18 @@ impl Machine {
                                 };
                                 proc.stats.overhead += overhead;
                                 proc.time += overhead;
-                                yield_thread(proc, threads, tid, ready, run_lengths, counters);
+                                rec.charge(tid, Cat::SwitchOverhead, overhead);
+                                yield_thread(
+                                    proc,
+                                    threads,
+                                    tid,
+                                    ready,
+                                    run_lengths,
+                                    counters,
+                                    p,
+                                    SwitchCause::Use,
+                                    rec,
+                                );
                                 continue;
                             }
                             _ => {
@@ -386,6 +452,7 @@ impl Machine {
                                 let wait = ready - proc.time;
                                 proc.stats.stall += wait;
                                 counters.stalls += wait;
+                                rec.charge(tid, Cat::MemoryStall, wait);
                                 proc.time = ready;
                             }
                         }
@@ -408,6 +475,7 @@ impl Machine {
                 trace,
                 fault,
                 net,
+                rec,
             )?;
             // A spin loop was just proven periodic: if every live thread
             // is in that state (and has seen the latest mutation), nobody
@@ -424,24 +492,37 @@ impl Machine {
                 Outcome::Continue => {
                     if config.model == SwitchModel::SwitchEveryCycle {
                         let wake = proc.time;
-                        yield_thread(proc, threads, tid, wake, run_lengths, counters);
+                        yield_thread(
+                            proc,
+                            threads,
+                            tid,
+                            wake,
+                            run_lengths,
+                            counters,
+                            p,
+                            SwitchCause::Rotation,
+                            rec,
+                        );
                     }
                 }
-                Outcome::Yield { wake } => {
+                Outcome::Yield { wake, cause } => {
                     if config.model.pays_switch_cost() {
                         proc.stats.overhead += config.switch_cost;
                         proc.time += config.switch_cost;
+                        rec.charge(tid, Cat::SwitchOverhead, config.switch_cost);
                     }
-                    yield_thread(proc, threads, tid, wake, run_lengths, counters);
+                    yield_thread(proc, threads, tid, wake, run_lengths, counters, p, cause, rec);
                 }
                 Outcome::Halt => {
                     let th = &mut threads[tid];
                     if th.run_cycles > 0 {
                         run_lengths.record(th.run_cycles);
+                        rec.sample(Metric::RunLength, th.run_cycles);
                         th.run_cycles = 0;
                     }
                     th.halted = true;
                     proc.current = None;
+                    rec.event(proc.time, p, tid, EventKind::Halt);
                 }
             }
         }
@@ -449,23 +530,29 @@ impl Machine {
 }
 
 /// Rotates `tid` to the back of the round-robin queue.
-fn yield_thread(
+#[allow(clippy::too_many_arguments)]
+fn yield_thread<R: Recorder>(
     proc: &mut Proc,
     threads: &mut [Thread],
     tid: usize,
     wake: u64,
     run_lengths: &mut RunLengthHist,
     counters: &mut Counters,
+    p: usize,
+    cause: SwitchCause,
+    rec: &mut R,
 ) {
     let th = &mut threads[tid];
     if th.run_cycles > 0 {
         run_lengths.record(th.run_cycles);
+        rec.sample(Metric::RunLength, th.run_cycles);
         th.run_cycles = 0;
     }
     th.wake = wake;
     proc.queue.push_back(tid);
     proc.current = None;
     counters.taken += 1;
+    rec.event(proc.time, p, tid, EventKind::SwitchOut { cause });
 }
 
 /// Issues a blocking shared read under the configured model.
@@ -483,8 +570,10 @@ fn read_dispatch(
     match config.model {
         // Zero-latency rotation: free, and keeps round-robin fairness so
         // same-processor spin loops cannot starve their peers.
-        SwitchModel::Ideal => Outcome::Yield { wake: reply },
-        SwitchModel::SwitchEveryCycle | SwitchModel::SwitchOnLoad => Outcome::Yield { wake: reply },
+        SwitchModel::Ideal => Outcome::Yield { wake: reply, cause: SwitchCause::Load },
+        SwitchModel::SwitchEveryCycle | SwitchModel::SwitchOnLoad => {
+            Outcome::Yield { wake: reply, cause: SwitchCause::Load }
+        }
         SwitchModel::SwitchOnUse => {
             push_pending(th, dests, reply);
             Outcome::Continue
@@ -508,7 +597,7 @@ fn read_dispatch(
             if cache_hit {
                 Outcome::Continue
             } else {
-                Outcome::Yield { wake: reply }
+                Outcome::Yield { wake: reply, cause: SwitchCause::Miss }
             }
         }
         SwitchModel::SwitchOnUseMiss => {
@@ -594,7 +683,7 @@ fn assert_step_invariants(p: usize, proc: &Proc, threads: &[Thread], config: &Ma
 
 /// Executes one instruction, advancing the processor clock.
 #[allow(clippy::too_many_arguments)]
-fn exec(
+fn exec<R: Recorder>(
     config: &MachineConfig,
     inst: Inst,
     p: usize,
@@ -608,6 +697,7 @@ fn exec(
     trace: &mut Option<Vec<TraceEvent>>,
     fault: &mut Option<FaultPlan>,
     net: &mut Option<Network>,
+    rec: &mut R,
 ) -> Result<Outcome, SimError> {
     let record =
         |trace: &mut Option<Vec<TraceEvent>>, time: u64, kind: TraceKind, addr: u64, spin: bool| {
@@ -622,6 +712,7 @@ fn exec(
     proc.stats.busy += c;
     th.run_cycles += c;
     counters.instructions += 1;
+    rec.charge(tid, Cat::Busy, c);
     let latency = if config.model == SwitchModel::Ideal { 0 } else { config.latency };
     th.pc += 1;
 
@@ -636,6 +727,9 @@ fn exec(
             | Inst::FetchAdd { .. }
             | Inst::SetPrio { .. }
     ) {
+        if R::ENABLED && th.spin_addr.is_some() {
+            rec.event(t0, p, tid, EventKind::SpinEnd);
+        }
         th.reset_spin();
     }
 
@@ -756,7 +850,7 @@ fn exec(
             let raw = shared
                 .try_read(addr)
                 .ok_or_else(|| bad_access(tid, pc0, "shared load", addr, shared.len()))?;
-            let spin = hint == AccessHint::Spin;
+            let spin = hint.is_poll();
             // Spin-loop polls re-read one address forever. Counting them as
             // one-line hits would let the §5.2 estimator skip every switch
             // in the loop, and letting them hit the cache would let a
@@ -773,6 +867,18 @@ fn exec(
             };
             record(trace, t0, TraceKind::Read, addr, spin);
             th.rset(rd, raw as i64);
+            if R::ENABLED {
+                th.wait = match hint {
+                    AccessHint::Spin => Cat::LockSpin,
+                    AccessHint::Barrier => Cat::BarrierWait,
+                    _ => Cat::MemoryStall,
+                };
+                rec.event(t0, p, tid, EventKind::LoadIssue { addr });
+                if spin && th.spin_addr != Some(addr) {
+                    let barrier = hint == AccessHint::Barrier;
+                    rec.event(t0, p, tid, EventKind::SpinBegin { addr, barrier });
+                }
+            }
             if spin {
                 let mutated = counters.mutations != th.seen_mutations;
                 th.seen_mutations = counters.mutations;
@@ -781,7 +887,11 @@ fn exec(
                 }
             }
             let shape = load_shape(caches.is_some() && !spin, cache_hit, 1, config);
+            let q0 = net_queue_cycles::<R>(net);
             let base = net_base(net, latency, t0, p, addr, cache_hit, &shape);
+            if R::ENABLED && !cache_hit {
+                observe_net_queue(rec, net, q0, t0, p, tid, addr);
+            }
             let reply = reply_time(
                 fault,
                 t0,
@@ -794,7 +904,12 @@ fn exec(
                 pc0,
                 &mut proc.stats,
                 traffic,
+                rec,
             )?;
+            if R::ENABLED && !cache_hit {
+                rec.sample(Metric::LoadLatency, reply - t0);
+                rec.event(reply, p, tid, EventKind::LoadReply { addr, latency: reply - t0 });
+            }
             let dests = [(false, rd.index() as u8)];
             let dests: &[(bool, u8)] = if rd.is_zero() { &[] } else { &dests };
             Ok(read_dispatch(config, th, counters, dests, cache_hit, oneline_hit, reply))
@@ -808,8 +923,16 @@ fn exec(
             let cache_hit = lookup_cache(caches, p, addr, config, traffic, false);
             record(trace, t0, TraceKind::Read, addr, false);
             th.fset(fd, f64::from_bits(raw));
+            if R::ENABLED {
+                th.wait = Cat::MemoryStall;
+                rec.event(t0, p, tid, EventKind::LoadIssue { addr });
+            }
             let shape = load_shape(caches.is_some(), cache_hit, 1, config);
+            let q0 = net_queue_cycles::<R>(net);
             let base = net_base(net, latency, t0, p, addr, cache_hit, &shape);
+            if R::ENABLED && !cache_hit {
+                observe_net_queue(rec, net, q0, t0, p, tid, addr);
+            }
             let reply = reply_time(
                 fault,
                 t0,
@@ -822,7 +945,12 @@ fn exec(
                 pc0,
                 &mut proc.stats,
                 traffic,
+                rec,
             )?;
+            if R::ENABLED && !cache_hit {
+                rec.sample(Metric::LoadLatency, reply - t0);
+                rec.event(reply, p, tid, EventKind::LoadReply { addr, latency: reply - t0 });
+            }
             let dests = [(true, fd.index() as u8)];
             Ok(read_dispatch(config, th, counters, &dests, cache_hit, oneline_hit, reply))
         }
@@ -852,8 +980,16 @@ fn exec(
             record(trace, t0, TraceKind::ReadPair, addr, false);
             th.fset(fd1, f64::from_bits(raw1));
             th.fset(fd2, f64::from_bits(raw2));
+            if R::ENABLED {
+                th.wait = Cat::MemoryStall;
+                rec.event(t0, p, tid, EventKind::LoadIssue { addr });
+            }
             let shape = load_shape(caches.is_some(), cache_hit, 2, config);
+            let q0 = net_queue_cycles::<R>(net);
             let base = net_base(net, latency, t0, p, addr, cache_hit, &shape);
+            if R::ENABLED && !cache_hit {
+                observe_net_queue(rec, net, q0, t0, p, tid, addr);
+            }
             let reply = reply_time(
                 fault,
                 t0,
@@ -866,7 +1002,12 @@ fn exec(
                 pc0,
                 &mut proc.stats,
                 traffic,
+                rec,
             )?;
+            if R::ENABLED && !cache_hit {
+                rec.sample(Metric::LoadLatency, reply - t0);
+                rec.event(reply, p, tid, EventKind::LoadReply { addr, latency: reply - t0 });
+            }
             let dests = [(true, fd1.index() as u8), (true, fd2.index() as u8)];
             Ok(read_dispatch(config, th, counters, &dests, cache_hit, oneline_hit, reply))
         }
@@ -895,15 +1036,29 @@ fn exec(
             // Every F&A crosses the network (even fire-and-forget ones):
             // it occupies links and, under combining, can merge with or
             // open a combining window for concurrent same-address adds.
+            let q0 = net_queue_cycles::<R>(net);
+            let fa0 =
+                if R::ENABLED { net.as_ref().map_or(0, |n| n.stats().fa_combined) } else { 0 };
             let fa_base = net
                 .as_mut()
                 .map(|n| n.fetch_add(t0, p, addr, shape.req_bits(), shape.reply_bits()) - t0);
+            if R::ENABLED {
+                th.wait = if hint == AccessHint::Spin { Cat::LockSpin } else { Cat::MemoryStall };
+                let combined = net.as_ref().is_some_and(|n| n.stats().fa_combined > fa0);
+                rec.event(t0, p, tid, EventKind::FetchAdd { addr, combined });
+                if hint == AccessHint::Release {
+                    rec.event(t0, p, tid, EventKind::BarrierArrive { addr });
+                }
+                observe_net_queue(rec, net, q0, t0, p, tid, addr);
+            }
             if rd.is_zero() {
                 // Fire-and-forget arrival (barrier-style): no reply is
                 // awaited, so there is nothing for fault injection to drop
                 // that anyone waits on.
                 Ok(match config.model {
-                    SwitchModel::SwitchEveryCycle => Outcome::Yield { wake: proc.time },
+                    SwitchModel::SwitchEveryCycle => {
+                        Outcome::Yield { wake: proc.time, cause: SwitchCause::Rotation }
+                    }
                     _ => Outcome::Continue,
                 })
             } else {
@@ -919,7 +1074,12 @@ fn exec(
                     pc0,
                     &mut proc.stats,
                     traffic,
+                    rec,
                 )?;
+                if R::ENABLED {
+                    rec.sample(Metric::LoadLatency, reply - t0);
+                    rec.event(reply, p, tid, EventKind::LoadReply { addr, latency: reply - t0 });
+                }
                 let dests = [(false, rd.index() as u8)];
                 // Fetch-and-add always goes to memory: never a cache hit.
                 Ok(read_dispatch(config, th, counters, &dests, false, false, reply))
@@ -934,8 +1094,11 @@ fn exec(
                 .try_write(addr, v)
                 .ok_or_else(|| bad_access(tid, pc0, "shared store", addr, shared.len()))?;
             counters.mutations += 1;
-            shared_store(config, net, t0, p, addr, caches, traffic, spin, 1);
+            shared_store(config, net, t0, p, addr, caches, traffic, spin, 1, tid, rec);
             record(trace, t0, TraceKind::Write, addr, spin);
+            if R::ENABLED && hint == AccessHint::Release {
+                rec.event(t0, p, tid, EventKind::BarrierRelease { addr });
+            }
             Ok(store_outcome(config, proc))
         }
         Inst::FStore { space: Space::Shared, fs, base, offset } => {
@@ -945,7 +1108,7 @@ fn exec(
                 .try_write(addr, v)
                 .ok_or_else(|| bad_access(tid, pc0, "shared store", addr, shared.len()))?;
             counters.mutations += 1;
-            shared_store(config, net, t0, p, addr, caches, traffic, false, 1);
+            shared_store(config, net, t0, p, addr, caches, traffic, false, 1, tid, rec);
             record(trace, t0, TraceKind::Write, addr, false);
             Ok(store_outcome(config, proc))
         }
@@ -960,7 +1123,7 @@ fn exec(
                 .ok_or_else(|| bad_access(tid, pc0, "shared store-pair", addr + 1, shared.len()))?;
             counters.mutations += 1;
             record(trace, t0, TraceKind::WritePair, addr, false);
-            shared_store(config, net, t0, p, addr, caches, traffic, false, 2);
+            shared_store(config, net, t0, p, addr, caches, traffic, false, 2, tid, rec);
             if let Some(c) = caches.as_mut() {
                 if addr / config.cache.line_words != (addr + 1) / config.cache.line_words {
                     let inv = c.store(p, addr + 1);
@@ -1116,7 +1279,7 @@ fn net_base(
 /// in global order, so a request that survives its retries observes
 /// exactly what a fault-free run would have.
 #[allow(clippy::too_many_arguments)]
-fn reply_time(
+fn reply_time<R: Recorder>(
     fault: &mut Option<FaultPlan>,
     t0: u64,
     latency: u64,
@@ -1128,6 +1291,7 @@ fn reply_time(
     pc: Pc,
     stats: &mut ProcStats,
     traffic: &mut Traffic,
+    rec: &mut R,
 ) -> Result<u64, SimError> {
     let Some(plan) = fault.as_mut() else {
         return Ok(t0 + latency);
@@ -1144,6 +1308,18 @@ fn reply_time(
                     shape.reply,
                     shape.reply_words,
                     spin,
+                );
+            }
+            if R::ENABLED && (out.retries > 0 || out.timeouts > 0) {
+                rec.event(
+                    t0,
+                    p,
+                    tid,
+                    EventKind::FaultRetry {
+                        addr,
+                        retries: out.retries as u64,
+                        timeouts: out.timeouts as u64,
+                    },
                 );
             }
             stats.retries += out.retries as u64;
@@ -1256,7 +1432,7 @@ fn lookup_cache(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn shared_store(
+fn shared_store<R: Recorder>(
     config: &MachineConfig,
     net: &mut Option<Network>,
     t0: u64,
@@ -1266,12 +1442,16 @@ fn shared_store(
     traffic: &mut Traffic,
     spin: bool,
     words: u64,
+    tid: usize,
+    rec: &mut R,
 ) {
     let _ = config;
     traffic.record_store(words, spin);
+    rec.event(t0, p, tid, EventKind::StoreIssue { addr });
     // Stores are write-through and acknowledged but never waited on:
     // the round trip still occupies network links (driving up queueing
     // for the loads behind it) even though its completion time is moot.
+    let q0 = net_queue_cycles::<R>(net);
     if let Some(n) = net.as_mut() {
         n.round_trip(
             t0,
@@ -1281,15 +1461,53 @@ fn shared_store(
             message_bits(MsgClass::StoreAck, 0),
         );
     }
+    if R::ENABLED {
+        observe_net_queue(rec, net, q0, t0, p, tid, addr);
+    }
     if let Some(c) = caches.as_mut() {
         let inv = c.store(p, addr);
         traffic.record_invalidations(inv);
     }
 }
 
+/// The network's cumulative queue-residency counter, read only when a real
+/// recorder is attached (the delta across one send is that message's
+/// residency).
+#[inline]
+fn net_queue_cycles<R: Recorder>(net: &Option<Network>) -> u64 {
+    if R::ENABLED {
+        net.as_ref().map_or(0, |n| n.stats().queue_cycles)
+    } else {
+        0
+    }
+}
+
+/// Emits the queue-residency events and sample for one network message
+/// sent since `before` was read. The engine observes queueing at message
+/// granularity (the modeled network reports residency per round trip, not
+/// per hop), so one enqueue/dequeue pair stands for the whole trip.
+fn observe_net_queue<R: Recorder>(
+    rec: &mut R,
+    net: &Option<Network>,
+    before: u64,
+    t0: u64,
+    p: usize,
+    tid: usize,
+    addr: u64,
+) {
+    if let Some(n) = net.as_ref() {
+        let queued = n.stats().queue_cycles - before;
+        rec.sample(Metric::QueueResidency, queued);
+        rec.event(t0, p, tid, EventKind::NetEnqueue { addr, queued });
+        rec.event(t0 + queued, p, tid, EventKind::NetDequeue { addr });
+    }
+}
+
 fn store_outcome(config: &MachineConfig, proc: &Proc) -> Outcome {
     match config.model {
-        SwitchModel::SwitchEveryCycle => Outcome::Yield { wake: proc.time },
+        SwitchModel::SwitchEveryCycle => {
+            Outcome::Yield { wake: proc.time, cause: SwitchCause::Rotation }
+        }
         _ => Outcome::Continue,
     }
 }
@@ -1311,19 +1529,19 @@ fn switch_outcome(
             let wake = th.outstanding.max(proc.time);
             th.clear_group();
             th.outstanding = 0;
-            Outcome::Yield { wake }
+            Outcome::Yield { wake, cause: SwitchCause::Explicit }
         }
         SwitchModel::ConditionalSwitch => {
             if th.pending_miss {
                 let wake = th.outstanding.max(proc.time);
                 th.clear_group();
                 th.outstanding = 0;
-                Outcome::Yield { wake }
+                Outcome::Yield { wake, cause: SwitchCause::Explicit }
             } else if config.max_run.is_some_and(|m| th.run_cycles >= m) {
                 counters.forced += 1;
                 th.clear_group();
                 th.outstanding = 0;
-                Outcome::Yield { wake: proc.time }
+                Outcome::Yield { wake: proc.time, cause: SwitchCause::Forced }
             } else {
                 counters.skipped += 1;
                 th.clear_group();

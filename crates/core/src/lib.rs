@@ -52,6 +52,13 @@ pub use stats::{DeadlockWaiter, ProcStats, RunLengthHist, RunResult, RunStats, S
 
 pub use mtsim_mem::{NetStats, Network, NetworkConfig, Topology};
 
+// Observability surface (DESIGN.md §17). Re-exported so engine users can
+// attach a recorder without depending on `mtsim-obs` directly.
+pub use mtsim_obs::{
+    AttrSummary, AttrTable, Cat, Event, EventKind, EventRing, Metric, NoopRecorder, ObsRecorder,
+    Recorder, StreamHist, SwitchCause, DEFAULT_RING_CAPACITY,
+};
+
 #[cfg(test)]
 mod send_audit {
     //! Compile-time `Send`/`Sync` audit for the sweep pool contract

@@ -2,6 +2,7 @@
 
 use mtsim_isa::{FReg, Pc, Reg};
 use mtsim_mem::OneLineCache;
+use mtsim_obs::Cat;
 
 /// A register whose value is still in flight (issued shared read whose
 /// reply has not arrived).
@@ -45,6 +46,11 @@ pub(crate) struct Thread {
     /// Scheduling priority (0 = normal); set by `SetPrio`, honored when
     /// `MachineConfig::priority_scheduling` is enabled.
     pub prio: u8,
+    /// Observability: what this thread is waiting for while asleep
+    /// (memory reply, lock spin, barrier). Written only when a real
+    /// recorder is attached; read when the processor sleeps until this
+    /// thread's wake time, to attribute the gap.
+    pub wait: Cat,
     /// Deadlock detection: the shared word this thread's current spin loop
     /// polls (spin-hinted loads with no intervening store/fetch-add).
     pub spin_addr: Option<u64>,
@@ -109,6 +115,7 @@ impl Thread {
             one_line: OneLineCache::default(),
             run_cycles: 0,
             prio: 0,
+            wait: Cat::MemoryStall,
             spin_addr: None,
             polls_clean: 0,
             last_poll: 0,

@@ -58,6 +58,8 @@ fn hint_suffix(h: crate::AccessHint) -> &'static str {
     match h {
         crate::AccessHint::Data => "",
         crate::AccessHint::Spin => ".spin",
+        crate::AccessHint::Barrier => ".barrier",
+        crate::AccessHint::Release => ".rel",
     }
 }
 

@@ -42,8 +42,29 @@ pub enum AccessHint {
     /// Ordinary data access (the default).
     #[default]
     Data,
-    /// Part of a lock/barrier spin loop; excluded from paper-style bandwidth.
+    /// Part of a lock spin loop; excluded from paper-style bandwidth.
     Spin,
+    /// A barrier-generation poll: spins exactly like [`AccessHint::Spin`]
+    /// (same bandwidth exclusion, same deadlock tracking) but tells the
+    /// observability layer to charge the wait to barrier-wait rather than
+    /// lock-spin.
+    Barrier,
+    /// A barrier arrive/release access (the arrival fetch-and-add and the
+    /// count/generation writes). Behaves exactly like [`AccessHint::Data`]
+    /// — it is real synchronization traffic, not a poll — but lets the
+    /// observability layer emit barrier-arrive/release events.
+    Release,
+}
+
+impl AccessHint {
+    /// True for the polling hints ([`AccessHint::Spin`] and
+    /// [`AccessHint::Barrier`]): re-reads of one word that bypass caches,
+    /// are excluded from paper-style bandwidth, and feed the deadlock
+    /// detector.
+    #[inline]
+    pub fn is_poll(self) -> bool {
+        matches!(self, AccessHint::Spin | AccessHint::Barrier)
+    }
 }
 
 /// Integer ALU operation. `Slt`-style comparisons produce 0 or 1.

@@ -1,0 +1,245 @@
+//! Per-thread cycle attribution.
+//!
+//! Every simulated processor cycle is charged to exactly one category,
+//! reproducing the paper's efficiency decomposition (§4–6) per thread:
+//! the five waiting/working categories are charged to the thread that
+//! caused them, and end-of-run slack (a processor finished, others still
+//! running) is charged to the processor as idle. The conservation law
+//! `Σ thread categories + Σ proc idle == processors × run cycles` is
+//! checked by [`AttrTable::conservation_error`].
+
+/// Where a simulated cycle went. The first five are per-thread; [`Cat::Idle`]
+/// is per-processor (no thread exists to charge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cat {
+    /// Executing instructions.
+    Busy,
+    /// Context-switch overhead.
+    SwitchOverhead,
+    /// Waiting on a shared-memory reply (including fault-retry backoff:
+    /// a request being resent is still a memory wait, never idle).
+    MemoryStall,
+    /// Spinning on a lock word.
+    LockSpin,
+    /// Waiting at a barrier.
+    BarrierWait,
+    /// No runnable thread and nothing outstanding (end-of-run slack).
+    Idle,
+}
+
+/// Number of per-thread categories (all but [`Cat::Idle`]).
+pub const THREAD_CATS: usize = 5;
+
+impl Cat {
+    /// All categories in display order.
+    pub const ALL: [Cat; 6] = [
+        Cat::Busy,
+        Cat::SwitchOverhead,
+        Cat::MemoryStall,
+        Cat::LockSpin,
+        Cat::BarrierWait,
+        Cat::Idle,
+    ];
+
+    /// Short stable name (column headers, JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Cat::Busy => "busy",
+            Cat::SwitchOverhead => "switch-ovh",
+            Cat::MemoryStall => "mem-stall",
+            Cat::LockSpin => "lock-spin",
+            Cat::BarrierWait => "barrier-wait",
+            Cat::Idle => "idle",
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            Cat::Busy => 0,
+            Cat::SwitchOverhead => 1,
+            Cat::MemoryStall => 2,
+            Cat::LockSpin => 3,
+            Cat::BarrierWait => 4,
+            Cat::Idle => panic!("idle is charged per processor, not per thread"),
+        }
+    }
+}
+
+/// The attribution table: one row of per-thread category counters per
+/// thread, one idle counter per processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrTable {
+    per_thread: Vec<[u64; THREAD_CATS]>,
+    per_proc_idle: Vec<u64>,
+    /// Wall-clock run cycles, filled in when the run finishes.
+    cycles: u64,
+}
+
+impl AttrTable {
+    /// A zeroed table for `processors × total_threads`.
+    pub fn new(processors: usize, total_threads: usize) -> AttrTable {
+        AttrTable {
+            per_thread: vec![[0; THREAD_CATS]; total_threads],
+            per_proc_idle: vec![0; processors],
+            cycles: 0,
+        }
+    }
+
+    /// Charges `cycles` on `thread` to `cat` (not [`Cat::Idle`]).
+    #[inline]
+    pub fn charge(&mut self, thread: usize, cat: Cat, cycles: u64) {
+        self.per_thread[thread][cat.slot()] += cycles;
+    }
+
+    /// Charges `cycles` of idle to processor `proc`.
+    #[inline]
+    pub fn charge_idle(&mut self, proc: usize, cycles: u64) {
+        self.per_proc_idle[proc] += cycles;
+    }
+
+    /// Records the run's wall-clock cycle count.
+    pub fn set_cycles(&mut self, cycles: u64) {
+        self.cycles = cycles;
+    }
+
+    /// Wall-clock run cycles (0 until the run finished).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Number of threads.
+    pub fn threads(&self) -> usize {
+        self.per_thread.len()
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.per_proc_idle.len()
+    }
+
+    /// Cycles charged to `thread` under `cat` (not [`Cat::Idle`]).
+    pub fn thread_cat(&self, thread: usize, cat: Cat) -> u64 {
+        self.per_thread[thread][cat.slot()]
+    }
+
+    /// Total cycles charged to `thread` across all categories.
+    pub fn thread_total(&self, thread: usize) -> u64 {
+        self.per_thread[thread].iter().sum()
+    }
+
+    /// Idle cycles charged to processor `proc`.
+    pub fn proc_idle(&self, proc: usize) -> u64 {
+        self.per_proc_idle[proc]
+    }
+
+    /// Sum of one category over all threads (or all processors for
+    /// [`Cat::Idle`]).
+    pub fn total(&self, cat: Cat) -> u64 {
+        if cat == Cat::Idle {
+            self.per_proc_idle.iter().sum()
+        } else {
+            self.per_thread.iter().map(|row| row[cat.slot()]).sum()
+        }
+    }
+
+    /// The conservation law: every cycle of every processor is charged
+    /// exactly once, so the table must sum to `processors × cycles`.
+    /// Returns a description of the discrepancy, or `None` when it holds.
+    pub fn conservation_error(&self, cycles: u64) -> Option<String> {
+        let charged: u64 = Cat::ALL.iter().map(|&c| self.total(c)).sum();
+        let expect = cycles * self.per_proc_idle.len() as u64;
+        if charged == expect {
+            None
+        } else {
+            Some(format!(
+                "attribution leak: charged {charged} cycles, machine ran {expect} \
+                 ({} procs × {cycles} cycles)",
+                self.per_proc_idle.len()
+            ))
+        }
+    }
+
+    /// Flattens into the `Copy` summary sweeps ship across threads.
+    pub fn summary(&self) -> AttrSummary {
+        AttrSummary {
+            busy: self.total(Cat::Busy),
+            switch_overhead: self.total(Cat::SwitchOverhead),
+            memory_stall: self.total(Cat::MemoryStall),
+            lock_spin: self.total(Cat::LockSpin),
+            barrier_wait: self.total(Cat::BarrierWait),
+            idle: self.total(Cat::Idle),
+        }
+    }
+}
+
+/// Machine-wide attribution totals: flat and `Copy`, one per sweep point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttrSummary {
+    /// Cycles executing instructions.
+    pub busy: u64,
+    /// Context-switch overhead cycles.
+    pub switch_overhead: u64,
+    /// Memory-wait cycles (including fault-retry backoff).
+    pub memory_stall: u64,
+    /// Lock-spin cycles.
+    pub lock_spin: u64,
+    /// Barrier-wait cycles.
+    pub barrier_wait: u64,
+    /// End-of-run idle cycles.
+    pub idle: u64,
+}
+
+impl AttrSummary {
+    /// Per-category totals in [`Cat::ALL`] order.
+    pub fn by_cat(&self) -> [(Cat, u64); 6] {
+        [
+            (Cat::Busy, self.busy),
+            (Cat::SwitchOverhead, self.switch_overhead),
+            (Cat::MemoryStall, self.memory_stall),
+            (Cat::LockSpin, self.lock_spin),
+            (Cat::BarrierWait, self.barrier_wait),
+            (Cat::Idle, self.idle),
+        ]
+    }
+
+    /// Sum over every category.
+    pub fn total(&self) -> u64 {
+        self.by_cat().iter().map(|&(_, v)| v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_holds_when_everything_is_charged() {
+        let mut a = AttrTable::new(2, 4);
+        a.charge(0, Cat::Busy, 60);
+        a.charge(1, Cat::MemoryStall, 40);
+        a.charge(2, Cat::LockSpin, 30);
+        a.charge(3, Cat::BarrierWait, 50);
+        a.charge_idle(0, 0);
+        a.charge_idle(1, 20);
+        assert_eq!(a.conservation_error(100), None);
+        let s = a.summary();
+        assert_eq!(s.total(), 200);
+        assert_eq!(s.busy, 60);
+        assert_eq!(s.idle, 20);
+    }
+
+    #[test]
+    fn conservation_reports_a_leak() {
+        let mut a = AttrTable::new(1, 1);
+        a.charge(0, Cat::Busy, 99);
+        let err = a.conservation_error(100).expect("one cycle missing");
+        assert!(err.contains("99") && err.contains("100"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "per processor")]
+    fn idle_cannot_be_charged_to_a_thread() {
+        let mut a = AttrTable::new(1, 1);
+        a.charge(0, Cat::Idle, 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Typed engine events and the fixed-capacity ring that stores them.
+
+/// Why a thread was switched out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchCause {
+    /// A blocking shared read under a switch-on-load-style model.
+    Load,
+    /// First use of an in-flight value (switch-on-use models).
+    Use,
+    /// A detected cache miss (switch-on-miss models).
+    Miss,
+    /// An explicit `switch` instruction.
+    Explicit,
+    /// The conditional model's forced switch (`max_run` elapsed).
+    Forced,
+    /// Free round-robin rotation (every-cycle model, store rotation).
+    Rotation,
+}
+
+impl SwitchCause {
+    /// Short stable name (used by the trace exporter).
+    pub fn name(self) -> &'static str {
+        match self {
+            SwitchCause::Load => "load",
+            SwitchCause::Use => "use",
+            SwitchCause::Miss => "miss",
+            SwitchCause::Explicit => "explicit",
+            SwitchCause::Forced => "forced",
+            SwitchCause::Rotation => "rotation",
+        }
+    }
+}
+
+/// One typed engine event. Payload fields are simulation facts (word
+/// addresses, cycle latencies), never host-side data, so traces are
+/// deterministic across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A thread was picked to run.
+    SwitchIn,
+    /// A thread was switched out.
+    SwitchOut {
+        /// What triggered the switch.
+        cause: SwitchCause,
+    },
+    /// A blocking shared read was issued.
+    LoadIssue {
+        /// Shared word address.
+        addr: u64,
+    },
+    /// The reply to a shared read is due.
+    LoadReply {
+        /// Shared word address.
+        addr: u64,
+        /// Round-trip latency in cycles (includes fault retries).
+        latency: u64,
+    },
+    /// A shared store was issued (write-through, never waited on).
+    StoreIssue {
+        /// Shared word address.
+        addr: u64,
+    },
+    /// A fetch-and-add crossed the network.
+    FetchAdd {
+        /// Shared word address.
+        addr: u64,
+        /// True when in-network combining merged it with a concurrent
+        /// same-address add.
+        combined: bool,
+    },
+    /// A message entered a contended network queue (residency > 0). The
+    /// engine observes queueing at message granularity — per-message
+    /// residency, not per-hop — so one event stands for the whole trip.
+    NetEnqueue {
+        /// Shared word address the message targets.
+        addr: u64,
+        /// Cycles the message sat queued on busy links/modules.
+        queued: u64,
+    },
+    /// The queued message of the matching [`EventKind::NetEnqueue`] drained.
+    NetDequeue {
+        /// Shared word address the message targets.
+        addr: u64,
+    },
+    /// A thread started polling a synchronization word.
+    SpinBegin {
+        /// Shared word being polled.
+        addr: u64,
+        /// True for a barrier-generation poll, false for a lock.
+        barrier: bool,
+    },
+    /// The thread left its poll loop (did real work again).
+    SpinEnd,
+    /// A barrier arrival (release-tagged fetch-and-add).
+    BarrierArrive {
+        /// Barrier counter word.
+        addr: u64,
+    },
+    /// A barrier release (release-tagged store flipping the generation).
+    BarrierRelease {
+        /// Word written to release the waiters.
+        addr: u64,
+    },
+    /// Fault injection forced at least one resend of a request.
+    FaultRetry {
+        /// Shared word address.
+        addr: u64,
+        /// NACK-driven resends.
+        retries: u64,
+        /// Timeout-driven resends.
+        timeouts: u64,
+    },
+    /// The thread executed `halt`.
+    Halt,
+}
+
+impl EventKind {
+    /// Short stable name (used by the trace exporter).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SwitchIn => "switch_in",
+            EventKind::SwitchOut { .. } => "switch_out",
+            EventKind::LoadIssue { .. } => "load_issue",
+            EventKind::LoadReply { .. } => "load_reply",
+            EventKind::StoreIssue { .. } => "store_issue",
+            EventKind::FetchAdd { .. } => "fetch_add",
+            EventKind::NetEnqueue { .. } => "net_enqueue",
+            EventKind::NetDequeue { .. } => "net_dequeue",
+            EventKind::SpinBegin { .. } => "spin_begin",
+            EventKind::SpinEnd => "spin_end",
+            EventKind::BarrierArrive { .. } => "barrier_arrive",
+            EventKind::BarrierRelease { .. } => "barrier_release",
+            EventKind::FaultRetry { .. } => "fault_retry",
+            EventKind::Halt => "halt",
+        }
+    }
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulation cycle at which the event happened.
+    pub at: u64,
+    /// Processor it happened on.
+    pub proc: u32,
+    /// Thread it concerns.
+    pub thread: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Fixed-capacity ring buffer of events: the newest `capacity` events are
+/// kept, older ones are overwritten (counted in [`EventRing::dropped`]).
+/// Bounded memory means tracing can stay on for arbitrarily long runs.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring keeping the most recent `capacity` events (min 1).
+    pub fn new(capacity: usize) -> EventRing {
+        let capacity = capacity.max(1);
+        EventRing { buf: Vec::new(), capacity, head: 0, dropped: 0 }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates the held events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> + '_ {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64) -> Event {
+        Event { at, proc: 0, thread: 0, kind: EventKind::Halt }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = EventRing::new(3);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<u64> = r.iter().map(|e| e.at).collect();
+        assert_eq!(ts, vec![2, 3, 4], "oldest-first iteration of the survivors");
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything() {
+        let mut r = EventRing::new(8);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! The text "flame table": the paper's efficiency decomposition rendered
+//! per thread, per processor, and machine-wide.
+
+use crate::attr::{AttrTable, Cat};
+
+/// Renders the attribution table as fixed-width text. Threads are rows,
+/// the five per-thread categories are columns; processor idle (end-of-run
+//  slack) and machine-wide percentages follow.
+pub fn flame_table(attr: &AttrTable) -> String {
+    let procs = attr.processors();
+    let threads = attr.threads();
+    let tpp = threads / procs.max(1);
+    let cycles = attr.cycles();
+    let mut out = String::new();
+    out.push_str(&format!("flame table: {procs} proc(s) x {tpp} thread(s), {cycles} cycles\n"));
+    out.push_str(&format!("{:<8}{:<6}", "thread", "proc"));
+    for cat in &Cat::ALL[..5] {
+        out.push_str(&format!("{:>14}", cat.name()));
+    }
+    out.push_str(&format!("{:>14}\n", "total"));
+    for t in 0..threads {
+        let p = t.checked_div(tpp).unwrap_or(0);
+        out.push_str(&format!("{:<8}{:<6}", format!("t{t}"), format!("p{p}")));
+        for &cat in &Cat::ALL[..5] {
+            out.push_str(&format!("{:>14}", attr.thread_cat(t, cat)));
+        }
+        out.push_str(&format!("{:>14}\n", attr.thread_total(t)));
+    }
+    out.push_str("idle (end-of-run slack) per processor:\n");
+    for p in 0..procs {
+        out.push_str(&format!("{:<8}{:>14}\n", format!("p{p}"), attr.proc_idle(p)));
+    }
+    let machine = (cycles * procs as u64).max(1) as f64;
+    out.push_str("share of machine cycles:");
+    for cat in Cat::ALL {
+        let pct = 100.0 * attr.total(cat) as f64 / machine;
+        out.push_str(&format!("  {} {:.1}%", cat.name(), pct));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows_idle_and_percentages() {
+        let mut a = AttrTable::new(2, 4);
+        a.charge(0, Cat::Busy, 75);
+        a.charge(1, Cat::MemoryStall, 100);
+        a.charge(2, Cat::LockSpin, 5);
+        a.charge(3, Cat::BarrierWait, 10);
+        a.charge_idle(1, 10);
+        a.set_cycles(100);
+        let s = flame_table(&a);
+        assert!(s.starts_with("flame table: 2 proc(s) x 2 thread(s), 100 cycles\n"), "{s}");
+        assert!(s.contains("t0"), "{s}");
+        assert!(s.contains("t3"), "{s}");
+        assert!(s.contains("idle (end-of-run slack)"), "{s}");
+        assert!(s.contains("busy 37.5%"), "{s}");
+        assert!(s.contains("idle 5.0%"), "{s}");
+        // Every thread row ends with its own total.
+        let t1 = s.lines().find(|l| l.starts_with("t1")).unwrap();
+        assert!(t1.trim_end().ends_with("100"), "{t1}");
+    }
+
+    #[test]
+    fn empty_table_renders_without_panic() {
+        let mut a = AttrTable::new(1, 1);
+        a.set_cycles(0);
+        let s = flame_table(&a);
+        assert!(s.contains("0 cycles"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Log-bucketed streaming histograms (HDR-style).
+//!
+//! Values `0..=255` land in exact unit-width buckets, so the common
+//! latencies of this simulator (the paper's constant 200-cycle network)
+//! report *exact* quantiles. Larger values use one power-of-two range
+//! split into 16 linear sub-buckets (relative error < 1/16). Recording is
+//! O(1), merging is bucket-wise addition, and every operation is
+//! deterministic: the same multiset of samples produces the same buckets
+//! and quantiles regardless of insertion or merge order.
+
+/// Exact unit-width buckets for values below this bound.
+const EXACT: usize = 256;
+/// log2 of [`EXACT`].
+const EXACT_BITS: u32 = 8;
+/// Linear sub-buckets per power-of-two range above [`EXACT`].
+const SUB: usize = 16;
+/// log2 of [`SUB`].
+const SUB_BITS: u32 = 4;
+/// Total bucket count: exact region + 16 sub-buckets for each of the
+/// power-of-two ranges `2^8..2^63`.
+const BUCKETS: usize = EXACT + (64 - EXACT_BITS as usize) * SUB;
+
+/// A mergeable streaming histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct StreamHist {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for StreamHist {
+    fn default() -> StreamHist {
+        StreamHist::new()
+    }
+}
+
+impl PartialEq for StreamHist {
+    fn eq(&self, other: &StreamHist) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.buckets[..] == other.buckets[..]
+    }
+}
+impl Eq for StreamHist {}
+
+/// Bucket index of `value`.
+#[inline]
+fn index_of(value: u64) -> usize {
+    if value < EXACT as u64 {
+        value as usize
+    } else {
+        let k = 63 - value.leading_zeros(); // value in [2^k, 2^(k+1)), k >= 8
+        let sub = ((value >> (k - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        EXACT + (k - EXACT_BITS) as usize * SUB + sub
+    }
+}
+
+/// Smallest value mapping to bucket `i` — the reported representative, so
+/// quantiles of exact-region samples are exact and larger ones round down.
+#[inline]
+fn low_of(i: usize) -> u64 {
+    if i < EXACT {
+        i as u64
+    } else {
+        let k = EXACT_BITS + ((i - EXACT) / SUB) as u32;
+        let sub = ((i - EXACT) % SUB) as u64;
+        (1u64 << k) + (sub << (k - SUB_BITS))
+    }
+}
+
+impl StreamHist {
+    /// An empty histogram.
+    pub fn new() -> StreamHist {
+        StreamHist { buckets: Box::new([0; BUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[index_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the representative (bucket
+    /// lower bound) of the bucket holding the sample of rank
+    /// `ceil(q × count)`. Exact for values below 256; within 1/16 above.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return low_of(i);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (`quantile(0.99)`).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges `other` into `self` (bucket-wise addition; order-independent).
+    pub fn merge(&mut self, other: &StreamHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates `(bucket_low, count)` over non-empty buckets in value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(i, &c)| (low_of(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_is_exact() {
+        let mut h = StreamHist::new();
+        for _ in 0..1000 {
+            h.record(200);
+        }
+        assert_eq!(h.p50(), 200);
+        assert_eq!(h.p99(), 200);
+        assert_eq!(h.min(), 200);
+        assert_eq!(h.max(), 200);
+        assert!((h.mean() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let mut h = StreamHist::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn large_values_round_down_within_a_sixteenth() {
+        let mut h = StreamHist::new();
+        h.record(1_000_000);
+        let p = h.p50();
+        assert!(p <= 1_000_000, "representative must not exceed the sample");
+        assert!((1_000_000 - p) as f64 <= 1_000_000.0 / 16.0, "p50={p}");
+    }
+
+    #[test]
+    fn bucket_index_and_low_agree() {
+        for v in [0, 1, 255, 256, 257, 300, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let i = index_of(v);
+            assert!(low_of(i) <= v, "low({i})={} > {v}", low_of(i));
+            if i + 1 < BUCKETS {
+                assert!(low_of(i + 1) > v, "value {v} not below next bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_addition() {
+        let mut a = StreamHist::new();
+        let mut b = StreamHist::new();
+        a.record(3);
+        b.record(500);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 3);
+        assert_eq!(a.nonzero_buckets().map(|(_, c)| c).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = StreamHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! `mtsim-obs`: zero-cost observability for the mtsim engine.
+//!
+//! The paper's entire argument is about *where cycles go* (Boothe &
+//! Ranade §4–6), so the engine is instrumented at every state transition
+//! — but through a [`Recorder`] trait selected by **generics**, never a
+//! runtime flag. The engine's hot loop is monomorphized once per recorder
+//! type; with [`NoopRecorder`] every hook is an empty inline function and
+//! the compiled code is the uninstrumented engine, bit-identical results
+//! and all. With [`ObsRecorder`] the same run additionally produces:
+//!
+//! * a typed event trace (fixed-capacity ring, [`event`]),
+//! * per-thread cycle attribution with a conservation proof ([`attr`]),
+//! * mergeable streaming histograms ([`hist`]),
+//! * Chrome/Perfetto trace JSON and a text flame table
+//!   ([`trace_export`], [`flame`]).
+//!
+//! This crate is dependency-free (DESIGN.md §9) and engine-agnostic: it
+//! speaks in plain processor/thread indices and cycle counts.
+
+pub mod attr;
+pub mod event;
+pub mod flame;
+pub mod hist;
+pub mod json;
+pub mod trace_export;
+
+pub use attr::{AttrSummary, AttrTable, Cat};
+pub use event::{Event, EventKind, EventRing, SwitchCause};
+pub use hist::StreamHist;
+pub use json::JsonBuilder;
+
+/// Which streaming histogram a sample feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Round-trip latency of one reply-bearing shared read, in cycles
+    /// (includes fault-retry extension).
+    LoadLatency,
+    /// Cycles one network message sat queued on busy links or modules.
+    QueueResidency,
+    /// Busy cycles a thread ran between two context switches.
+    RunLength,
+}
+
+/// The engine's observability hooks.
+///
+/// The engine is generic over `R: Recorder`; each call site is guarded by
+/// `R::ENABLED` only where *computing the arguments* costs something —
+/// the calls themselves compile away for [`NoopRecorder`].
+pub trait Recorder {
+    /// `false` only for the no-op recorder: lets the engine skip argument
+    /// computation (e.g. network-statistics deltas) that a real recorder
+    /// needs.
+    const ENABLED: bool = true;
+
+    /// A typed event at simulation cycle `at` on `proc` about `thread`.
+    fn event(&mut self, at: u64, proc: usize, thread: usize, kind: EventKind);
+
+    /// Charges `cycles` of `thread`'s time to `cat` (never [`Cat::Idle`]).
+    fn charge(&mut self, thread: usize, cat: Cat, cycles: u64);
+
+    /// Charges `cycles` of end-of-run idle to `proc`.
+    fn charge_idle(&mut self, proc: usize, cycles: u64);
+
+    /// Feeds `value` into the histogram behind `metric`.
+    fn sample(&mut self, metric: Metric, value: u64);
+
+    /// The run completed at wall-clock cycle `cycles`.
+    fn finish_run(&mut self, cycles: u64);
+}
+
+/// The disabled path: every hook is empty and inlined, so the engine
+/// monomorphized over this type is the seed engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn event(&mut self, _at: u64, _proc: usize, _thread: usize, _kind: EventKind) {}
+
+    #[inline(always)]
+    fn charge(&mut self, _thread: usize, _cat: Cat, _cycles: u64) {}
+
+    #[inline(always)]
+    fn charge_idle(&mut self, _proc: usize, _cycles: u64) {}
+
+    #[inline(always)]
+    fn sample(&mut self, _metric: Metric, _value: u64) {}
+
+    #[inline(always)]
+    fn finish_run(&mut self, _cycles: u64) {}
+}
+
+/// Default event-ring capacity (events, not bytes) for [`ObsRecorder`].
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// The full recorder: event ring + attribution table + histograms.
+#[derive(Debug, Clone)]
+pub struct ObsRecorder {
+    /// The typed event trace.
+    pub events: EventRing,
+    /// Per-thread cycle attribution.
+    pub attr: AttrTable,
+    /// Shared-load round-trip latency.
+    pub load_latency: StreamHist,
+    /// Network queue residency per message.
+    pub queue_residency: StreamHist,
+    /// Run length between context switches.
+    pub run_lengths: StreamHist,
+}
+
+impl ObsRecorder {
+    /// A recorder for `processors × total_threads` with the default ring
+    /// capacity.
+    pub fn new(processors: usize, total_threads: usize) -> ObsRecorder {
+        ObsRecorder::with_capacity(processors, total_threads, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A recorder whose ring keeps the most recent `capacity` events.
+    pub fn with_capacity(processors: usize, total_threads: usize, capacity: usize) -> ObsRecorder {
+        ObsRecorder {
+            events: EventRing::new(capacity),
+            attr: AttrTable::new(processors, total_threads),
+            load_latency: StreamHist::new(),
+            queue_residency: StreamHist::new(),
+            run_lengths: StreamHist::new(),
+        }
+    }
+
+    /// The Chrome/Perfetto trace JSON of the recorded events.
+    pub fn chrome_trace(&self) -> String {
+        trace_export::chrome_trace(&self.events)
+    }
+
+    /// The text flame table of the recorded attribution.
+    pub fn flame_table(&self) -> String {
+        flame::flame_table(&self.attr)
+    }
+}
+
+impl Recorder for ObsRecorder {
+    fn event(&mut self, at: u64, proc: usize, thread: usize, kind: EventKind) {
+        self.events.push(Event { at, proc: proc as u32, thread: thread as u32, kind });
+    }
+
+    fn charge(&mut self, thread: usize, cat: Cat, cycles: u64) {
+        self.attr.charge(thread, cat, cycles);
+    }
+
+    fn charge_idle(&mut self, proc: usize, cycles: u64) {
+        self.attr.charge_idle(proc, cycles);
+    }
+
+    fn sample(&mut self, metric: Metric, value: u64) {
+        match metric {
+            Metric::LoadLatency => self.load_latency.record(value),
+            Metric::QueueResidency => self.queue_residency.record(value),
+            Metric::RunLength => self.run_lengths.record(value),
+        }
+    }
+
+    fn finish_run(&mut self, cycles: u64) {
+        self.attr.set_cycles(cycles);
+        debug_assert!(
+            self.attr.conservation_error(cycles).is_none(),
+            "{}",
+            self.attr.conservation_error(cycles).unwrap_or_default()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+        const { assert!(!<NoopRecorder as Recorder>::ENABLED) };
+        const { assert!(<ObsRecorder as Recorder>::ENABLED) };
+    }
+
+    #[test]
+    fn obs_recorder_routes_samples_and_charges() {
+        let mut r = ObsRecorder::new(1, 2);
+        r.sample(Metric::LoadLatency, 200);
+        r.sample(Metric::RunLength, 3);
+        r.charge(0, Cat::Busy, 10);
+        r.charge_idle(0, 2);
+        r.event(5, 0, 1, EventKind::Halt);
+        r.finish_run(12);
+        assert_eq!(r.load_latency.count(), 1);
+        assert_eq!(r.run_lengths.count(), 1);
+        assert_eq!(r.attr.thread_cat(0, Cat::Busy), 10);
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.attr.cycles(), 12);
+        assert_eq!(r.attr.conservation_error(12), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! Emits the [Trace Event Format] JSON object that `chrome://tracing` and
+//! [ui.perfetto.dev] load directly: thread execution intervals as complete
+//! (`"X"`) slices — one per switch-in/switch-out pair — and every other
+//! engine event as a thread-scoped instant (`"i"`). Timestamps are raw
+//! simulation cycles (the `ts` unit is nominally microseconds; for a
+//! simulator, one "microsecond" per cycle reads naturally). `pid` is the
+//! processor, `tid` the global thread id.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use crate::event::{Event, EventKind, EventRing};
+use crate::json::JsonBuilder;
+
+/// Renders the ring's events as a Chrome trace-event JSON object.
+pub fn chrome_trace(ring: &EventRing) -> String {
+    // Sort by time, stable so same-cycle events keep engine order. The ring
+    // interleaves processors whose local clocks run ahead of each other, so
+    // it is only per-processor ordered.
+    let mut events: Vec<&Event> = ring.iter().collect();
+    events.sort_by_key(|e| e.at);
+
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.key("traceEvents").begin_array();
+
+    // Name the rows once: pid = processor, tid = thread.
+    let mut procs: Vec<u32> = events.iter().map(|e| e.proc).collect();
+    procs.sort_unstable();
+    procs.dedup();
+    for p in procs {
+        j.begin_object();
+        j.key("name").string("process_name");
+        j.key("ph").string("M");
+        j.key("pid").u64(p as u64);
+        j.key("args").begin_object().key("name").string(&format!("proc {p}")).end();
+        j.end();
+    }
+    let mut threads: Vec<(u32, u32)> = events.iter().map(|e| (e.proc, e.thread)).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for (p, t) in threads {
+        j.begin_object();
+        j.key("name").string("thread_name");
+        j.key("ph").string("M");
+        j.key("pid").u64(p as u64);
+        j.key("tid").u64(t as u64);
+        j.key("args").begin_object().key("name").string(&format!("thread {t}")).end();
+        j.end();
+    }
+
+    // Pair switch-in with the next switch-out/halt of the same thread into
+    // "X" slices; everything else becomes an instant.
+    let mut open: Vec<(u32, u32, u64)> = Vec::new(); // (proc, thread, since)
+    for e in &events {
+        match e.kind {
+            EventKind::SwitchIn => {
+                open.retain(|&(p, t, _)| !(p == e.proc && t == e.thread));
+                open.push((e.proc, e.thread, e.at));
+            }
+            EventKind::SwitchOut { cause } => {
+                if let Some(i) = open.iter().position(|&(p, t, _)| p == e.proc && t == e.thread) {
+                    let (_, _, since) = open.remove(i);
+                    slice(&mut j, e.proc, e.thread, since, e.at, cause.name());
+                }
+            }
+            EventKind::Halt => {
+                if let Some(i) = open.iter().position(|&(p, t, _)| p == e.proc && t == e.thread) {
+                    let (_, _, since) = open.remove(i);
+                    slice(&mut j, e.proc, e.thread, since, e.at, "halt");
+                }
+                instant(&mut j, e, |_| {});
+            }
+            kind => instant(&mut j, e, |j| args_for(j, kind)),
+        }
+    }
+    // A slice still open when the trace ends (ring overflow ate the
+    // switch-out) is dropped rather than fabricated.
+
+    j.end(); // traceEvents
+    j.key("displayTimeUnit").string("ms");
+    j.key("otherData").begin_object();
+    j.key("tool").string("mtsim-obs");
+    j.key("clock").string("sim-cycles");
+    j.key("dropped_events").u64(ring.dropped());
+    j.end();
+    j.end();
+    j.finish()
+}
+
+/// One complete ("X") slice: a thread's residency on its processor.
+fn slice(j: &mut JsonBuilder, proc: u32, thread: u32, since: u64, until: u64, cause: &str) {
+    j.begin_object();
+    j.key("name").string("run");
+    j.key("cat").string("sched");
+    j.key("ph").string("X");
+    j.key("ts").u64(since);
+    j.key("dur").u64(until.saturating_sub(since));
+    j.key("pid").u64(proc as u64);
+    j.key("tid").u64(thread as u64);
+    j.key("args").begin_object().key("switch_cause").string(cause).end();
+    j.end();
+}
+
+/// One thread-scoped instant ("i") event.
+fn instant(j: &mut JsonBuilder, e: &Event, args: impl FnOnce(&mut JsonBuilder)) {
+    j.begin_object();
+    j.key("name").string(e.kind.name());
+    j.key("cat").string("engine");
+    j.key("ph").string("i");
+    j.key("s").string("t");
+    j.key("ts").u64(e.at);
+    j.key("pid").u64(e.proc as u64);
+    j.key("tid").u64(e.thread as u64);
+    j.key("args").begin_object();
+    args(j);
+    j.end();
+    j.end();
+}
+
+/// Typed payload fields of an instant event.
+fn args_for(j: &mut JsonBuilder, kind: EventKind) {
+    match kind {
+        EventKind::LoadIssue { addr }
+        | EventKind::StoreIssue { addr }
+        | EventKind::NetDequeue { addr }
+        | EventKind::BarrierArrive { addr }
+        | EventKind::BarrierRelease { addr } => {
+            j.key("addr").u64(addr);
+        }
+        EventKind::LoadReply { addr, latency } => {
+            j.key("addr").u64(addr);
+            j.key("latency").u64(latency);
+        }
+        EventKind::FetchAdd { addr, combined } => {
+            j.key("addr").u64(addr);
+            j.key("combined").bool(combined);
+        }
+        EventKind::NetEnqueue { addr, queued } => {
+            j.key("addr").u64(addr);
+            j.key("queued").u64(queued);
+        }
+        EventKind::SpinBegin { addr, barrier } => {
+            j.key("addr").u64(addr);
+            j.key("barrier").bool(barrier);
+        }
+        EventKind::FaultRetry { addr, retries, timeouts } => {
+            j.key("addr").u64(addr);
+            j.key("retries").u64(retries);
+            j.key("timeouts").u64(timeouts);
+        }
+        EventKind::SpinEnd => {}
+        EventKind::SwitchIn | EventKind::SwitchOut { .. } | EventKind::Halt => {
+            unreachable!("sched events are slices, not instants")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SwitchCause;
+
+    fn push(r: &mut EventRing, at: u64, proc: u32, thread: u32, kind: EventKind) {
+        r.push(Event { at, proc, thread, kind });
+    }
+
+    #[test]
+    fn pairs_switches_into_slices() {
+        let mut r = EventRing::new(64);
+        push(&mut r, 0, 0, 0, EventKind::SwitchIn);
+        push(&mut r, 5, 0, 0, EventKind::LoadIssue { addr: 7 });
+        push(&mut r, 6, 0, 0, EventKind::SwitchOut { cause: SwitchCause::Load });
+        push(&mut r, 6, 0, 1, EventKind::SwitchIn);
+        push(&mut r, 9, 0, 1, EventKind::Halt);
+        let json = chrome_trace(&r);
+        assert!(json.starts_with(r#"{"traceEvents":["#));
+        assert!(json.contains(r#""ph":"X","ts":0,"dur":6,"pid":0,"tid":0"#), "{json}");
+        assert!(json.contains(r#""switch_cause":"load""#));
+        assert!(json.contains(r#""ph":"X","ts":6,"dur":3,"pid":0,"tid":1"#), "{json}");
+        assert!(json.contains(r#""name":"load_issue""#));
+        assert!(json.contains(r#""addr":7"#));
+        assert!(json.contains(r#""dropped_events":0"#));
+    }
+
+    #[test]
+    fn cross_processor_events_are_time_sorted() {
+        let mut r = EventRing::new(64);
+        // Proc 1's events land in the ring after proc 0's later ones.
+        push(&mut r, 50, 0, 0, EventKind::StoreIssue { addr: 1 });
+        push(&mut r, 10, 1, 2, EventKind::StoreIssue { addr: 2 });
+        let json = chrome_trace(&r);
+        let a = json.find(r#""addr":2"#).unwrap();
+        let b = json.find(r#""addr":1"#).unwrap();
+        assert!(a < b, "earlier event must come first: {json}");
+    }
+
+    #[test]
+    fn orphan_switch_in_is_dropped_not_fabricated() {
+        let mut r = EventRing::new(64);
+        push(&mut r, 3, 0, 0, EventKind::SwitchIn);
+        let json = chrome_trace(&r);
+        assert!(!json.contains(r#""ph":"X""#), "no slice without a switch-out: {json}");
+    }
+}

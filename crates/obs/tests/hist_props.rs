@@ -1,0 +1,123 @@
+//! Property tests for streaming-histogram determinism (the satellite
+//! requirement behind sweep `--attr`): the same multiset of samples must
+//! produce identical buckets and quantiles no matter how it is ordered,
+//! partitioned across workers, or merged. Style follows
+//! `crates/sweep/tests/json_props.rs`: a small hand-rolled xorshift
+//! generator, many seeds, no external property-testing crate.
+
+use mtsim_obs::StreamHist;
+
+/// Deterministic xorshift64* — the workspace's stock test generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// A sample spread over both histogram regions: exact (< 256) and
+    /// log-bucketed, with occasional huge values.
+    fn sample(&mut self) -> u64 {
+        match self.next() % 4 {
+            0 => self.next() % 256,
+            1 => 200, // the paper's constant latency, heavily repeated
+            2 => self.next() % 100_000,
+            _ => self.next() >> (self.next() % 60),
+        }
+    }
+}
+
+fn record_all(values: &[u64]) -> StreamHist {
+    let mut h = StreamHist::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn insertion_order_does_not_change_the_histogram() {
+    for seed in 1..=20u64 {
+        let mut rng = Rng::new(seed);
+        let values: Vec<u64> = (0..500).map(|_| rng.sample()).collect();
+        let forward = record_all(&values);
+        let mut reversed: Vec<u64> = values.clone();
+        reversed.reverse();
+        let backward = record_all(&reversed);
+        // An arbitrary deterministic shuffle: stride through the values.
+        let mut strided = Vec::with_capacity(values.len());
+        for start in 0..7 {
+            strided.extend(values.iter().skip(start).step_by(7).copied());
+        }
+        let shuffled = record_all(&strided);
+        assert_eq!(forward, backward, "seed {seed}: reverse order changed the histogram");
+        assert_eq!(forward, shuffled, "seed {seed}: shuffle changed the histogram");
+    }
+}
+
+#[test]
+fn worker_count_and_merge_order_do_not_change_the_histogram() {
+    for seed in 1..=20u64 {
+        let mut rng = Rng::new(seed);
+        let values: Vec<u64> = (0..500).map(|_| rng.sample()).collect();
+        let sequential = record_all(&values);
+        for workers in [1usize, 2, 3, 4, 8, 16] {
+            // Partition round-robin over `workers` shards, as the sweep
+            // pool would, then merge in two different orders.
+            let mut shards = vec![StreamHist::new(); workers];
+            for (i, &v) in values.iter().enumerate() {
+                shards[i % workers].record(v);
+            }
+            let mut fwd = StreamHist::new();
+            for s in &shards {
+                fwd.merge(s);
+            }
+            let mut rev = StreamHist::new();
+            for s in shards.iter().rev() {
+                rev.merge(s);
+            }
+            assert_eq!(sequential, fwd, "seed {seed}: {workers} workers changed the histogram");
+            assert_eq!(fwd, rev, "seed {seed}: merge order changed the histogram");
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(
+                    sequential.quantile(q),
+                    fwd.quantile(q),
+                    "seed {seed}: quantile {q} drifted under {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quantiles_never_exceed_observed_maximum() {
+    for seed in 1..=10u64 {
+        let mut rng = Rng::new(seed);
+        let h = record_all(&(0..300).map(|_| rng.sample()).collect::<Vec<_>>());
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert!(h.quantile(q) <= h.max(), "seed {seed}: q{q} above max");
+        }
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+}
+
+#[test]
+fn merging_an_empty_histogram_is_identity() {
+    let mut rng = Rng::new(9);
+    let h = record_all(&(0..100).map(|_| rng.sample()).collect::<Vec<_>>());
+    let mut merged = h.clone();
+    merged.merge(&StreamHist::new());
+    assert_eq!(h, merged);
+    let mut other_way = StreamHist::new();
+    other_way.merge(&h);
+    assert_eq!(h, other_way);
+}

@@ -10,8 +10,9 @@
 //! * [`FloatCell`] — a lock-protected floating-point accumulator.
 //!
 //! All primitives *emit inline code* into a [`ProgramBuilder`]; the
-//! accesses inside spin loops carry [`AccessHint::Spin`] so the engine's
-//! bandwidth statistics can exclude them, matching the paper's footnote 2
+//! accesses inside spin loops carry [`AccessHint::Spin`] (lock waits) or
+//! [`AccessHint::Barrier`] (barrier waits) so the engine's bandwidth
+//! statistics can exclude them, matching the paper's footnote 2
 //! ("we expect a real machine to provide mechanisms to perform these
 //! operations without spinning").
 //!
@@ -68,17 +69,23 @@ impl Barrier {
     pub fn emit_wait(&self, b: &mut ProgramBuilder) {
         // my_gen must be read before announcing arrival.
         let my_gen = b.def_i("_bar_gen", b.load_shared(b.const_i(self.gen_addr)));
-        let arrived = b.def_i("_bar_n", b.fetch_add(b.const_i(self.count_addr), 1));
+        let arrived =
+            b.def_i("_bar_n", b.fetch_add_hint(b.const_i(self.count_addr), 1, AccessHint::Release));
         b.if_else(
             arrived.get().eq(self.participants - 1),
             |b| {
                 // Last arriver: reset, then open the next generation.
-                b.store_shared(b.const_i(self.count_addr), 0);
-                b.store_shared(b.const_i(self.gen_addr), my_gen.get() + 1);
+                b.store_shared_hint(b.const_i(self.count_addr), 0, AccessHint::Release);
+                b.store_shared_hint(
+                    b.const_i(self.gen_addr),
+                    my_gen.get() + 1,
+                    AccessHint::Release,
+                );
             },
             |b| {
                 b.while_(
-                    b.load_shared_hint(b.const_i(self.gen_addr), AccessHint::Spin).eq(my_gen.get()),
+                    b.load_shared_hint(b.const_i(self.gen_addr), AccessHint::Barrier)
+                        .eq(my_gen.get()),
                     |_b| {},
                 );
             },
@@ -232,19 +239,29 @@ impl CombiningBarrier {
         b.if_(group.get().eq(self.ngroups - 1), |b| {
             b.assign(size, b.const_i(self.participants - (self.ngroups - 1) * Self::RADIX));
         });
-        let arrived = b.def_i("_cb_n", b.fetch_add(group.get() + self.groups_addr, 1));
+        let arrived = b.def_i(
+            "_cb_n",
+            b.fetch_add_hint(group.get() + self.groups_addr, 1, AccessHint::Release),
+        );
         b.if_(arrived.get().eq(size.get() - 1), |b| {
             // Group representative: reset the group counter, combine at
             // the root.
-            b.store_shared(group.get() + self.groups_addr, 0);
-            let r = b.def_i("_cb_r", b.fetch_add(b.const_i(self.root_addr), 1));
+            b.store_shared_hint(group.get() + self.groups_addr, 0, AccessHint::Release);
+            let r = b.def_i(
+                "_cb_r",
+                b.fetch_add_hint(b.const_i(self.root_addr), 1, AccessHint::Release),
+            );
             b.if_(r.get().eq(self.ngroups - 1), |b| {
-                b.store_shared(b.const_i(self.root_addr), 0);
-                b.store_shared(b.const_i(self.gen_addr), my_gen.get() + 1);
+                b.store_shared_hint(b.const_i(self.root_addr), 0, AccessHint::Release);
+                b.store_shared_hint(
+                    b.const_i(self.gen_addr),
+                    my_gen.get() + 1,
+                    AccessHint::Release,
+                );
             });
         });
         b.while_(
-            b.load_shared_hint(b.const_i(self.gen_addr), AccessHint::Spin).eq(my_gen.get()),
+            b.load_shared_hint(b.const_i(self.gen_addr), AccessHint::Barrier).eq(my_gen.get()),
             |_b| {},
         );
     }

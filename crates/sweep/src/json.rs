@@ -1,177 +1,8 @@
-//! A minimal hand-rolled JSON writer.
+//! JSON writing for sweep results.
 //!
-//! The workspace has a zero-external-dependency policy (DESIGN.md §9), so
-//! result serialization cannot lean on serde. This builder emits
-//! syntactically valid JSON with deterministic byte-for-byte output for
-//! the same call sequence: key order is the caller's call order and `f64`
-//! uses Rust's shortest-roundtrip `Display`, which is
-//! platform-independent.
+//! The hand-rolled [`JsonBuilder`] now lives in the dependency-free
+//! `mtsim-obs` crate so the trace exporters can share it (the workspace
+//! has a zero-external-dependency policy, DESIGN.md §9); this module
+//! re-exports it to keep `mtsim_sweep::json::JsonBuilder` paths working.
 
-/// Incremental JSON builder. Call `begin_object`/`begin_array`, emit
-/// keys and values, `end`, then `finish`.
-#[derive(Debug, Default)]
-pub struct JsonBuilder {
-    out: String,
-    /// (is_object, values_emitted) per open container.
-    stack: Vec<(bool, usize)>,
-    after_key: bool,
-}
-
-impl JsonBuilder {
-    /// An empty builder.
-    pub fn new() -> JsonBuilder {
-        JsonBuilder::default()
-    }
-
-    /// Opens `{`.
-    pub fn begin_object(&mut self) -> &mut Self {
-        self.pre_value();
-        self.out.push('{');
-        self.stack.push((true, 0));
-        self
-    }
-
-    /// Opens `[`.
-    pub fn begin_array(&mut self) -> &mut Self {
-        self.pre_value();
-        self.out.push('[');
-        self.stack.push((false, 0));
-        self
-    }
-
-    /// Closes the innermost container.
-    pub fn end(&mut self) -> &mut Self {
-        let (is_object, _) = self.stack.pop().expect("end() with no open container");
-        self.out.push(if is_object { '}' } else { ']' });
-        self
-    }
-
-    /// Emits an object key; the next call emits its value.
-    pub fn key(&mut self, key: &str) -> &mut Self {
-        debug_assert!(matches!(self.stack.last(), Some((true, _))), "key() outside an object");
-        self.pre_value();
-        Self::push_escaped(&mut self.out, key);
-        self.out.push(':');
-        self.after_key = true;
-        self
-    }
-
-    /// Emits a string value.
-    pub fn string(&mut self, value: &str) -> &mut Self {
-        self.pre_value();
-        Self::push_escaped(&mut self.out, value);
-        self
-    }
-
-    /// Emits an unsigned integer value.
-    pub fn u64(&mut self, value: u64) -> &mut Self {
-        self.pre_value();
-        self.out.push_str(&value.to_string());
-        self
-    }
-
-    /// Emits a float value; non-finite floats become `null` (JSON has no
-    /// NaN/Infinity).
-    pub fn f64(&mut self, value: f64) -> &mut Self {
-        self.pre_value();
-        if value.is_finite() {
-            let s = value.to_string();
-            self.out.push_str(&s);
-            // `Display` drops the ".0" on whole floats; keep the value
-            // float-typed for strict readers.
-            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
-                self.out.push_str(".0");
-            }
-        } else {
-            self.out.push_str("null");
-        }
-        self
-    }
-
-    /// Emits a boolean value.
-    pub fn bool(&mut self, value: bool) -> &mut Self {
-        self.pre_value();
-        self.out.push_str(if value { "true" } else { "false" });
-        self
-    }
-
-    /// Returns the accumulated JSON text.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a container is still open.
-    pub fn finish(self) -> String {
-        assert!(self.stack.is_empty(), "finish() with {} open container(s)", self.stack.len());
-        self.out
-    }
-
-    /// Comma/position bookkeeping shared by every emitter.
-    fn pre_value(&mut self) {
-        if self.after_key {
-            self.after_key = false;
-            return;
-        }
-        if let Some((_, count)) = self.stack.last_mut() {
-            if *count > 0 {
-                self.out.push(',');
-            }
-            *count += 1;
-        }
-    }
-
-    fn push_escaped(out: &mut String, s: &str) {
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => {
-                    out.push_str(&format!("\\u{:04x}", c as u32));
-                }
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn objects_arrays_and_commas() {
-        let mut j = JsonBuilder::new();
-        j.begin_object();
-        j.key("a").u64(1);
-        j.key("b").begin_array().u64(2).u64(3).end();
-        j.key("c").begin_object().key("d").string("x").end();
-        j.end();
-        assert_eq!(j.finish(), r#"{"a":1,"b":[2,3],"c":{"d":"x"}}"#);
-    }
-
-    #[test]
-    fn floats_stay_float_typed_and_nonfinite_is_null() {
-        let mut j = JsonBuilder::new();
-        j.begin_array().f64(1.0).f64(0.625).f64(f64::NAN).end();
-        assert_eq!(j.finish(), "[1.0,0.625,null]");
-    }
-
-    #[test]
-    fn strings_escape_quotes_backslashes_and_controls() {
-        let mut j = JsonBuilder::new();
-        j.string("a\"b\\c\nd\u{1}e");
-        assert_eq!(j.finish(), "\"a\\\"b\\\\c\\nd\\u0001e\"");
-    }
-
-    #[test]
-    #[should_panic(expected = "open container")]
-    fn finish_rejects_unclosed_containers() {
-        let mut j = JsonBuilder::new();
-        j.begin_object();
-        let _ = j.finish();
-    }
-}
+pub use mtsim_obs::JsonBuilder;

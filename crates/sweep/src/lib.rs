@@ -32,7 +32,7 @@ mod spec;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use mtsim_core::Machine;
+use mtsim_core::{Machine, ObsRecorder};
 
 pub use cache::ArtifactCache;
 pub use pool::{default_workers, run_jobs};
@@ -90,9 +90,12 @@ pub fn run_job_specs(jobs: Vec<JobSpec>, opts: &SweepOpts) -> SweepOutcome {
         .into_iter()
         .map(|(spec, result)| match result {
             Ok(outcome) => outcome,
-            Err(message) => {
-                JobOutcome { spec, result: Err(JobError::Panic { message }), cache_hit: false }
-            }
+            Err(message) => JobOutcome {
+                spec,
+                result: Err(JobError::Panic { message }),
+                attr: None,
+                cache_hit: false,
+            },
         })
         .collect();
     outcomes.sort_by_key(|o| o.spec.id);
@@ -119,18 +122,28 @@ fn run_one(spec: &JobSpec, cache: &ArtifactCache) -> JobOutcome {
         return JobOutcome {
             spec: *spec,
             result: Err(JobError::Sim { kind: "config", message }),
+            attr: None,
             cache_hit,
         };
     }
 
+    // Attribution runs attach a real recorder; a tiny ring suffices since
+    // the sweep only keeps the attribution table, not the event trace.
+    let mut rec =
+        spec.attr.then(|| ObsRecorder::with_capacity(cfg.processors, cfg.total_threads(), 1));
+
     // Mirror `mtsim_apps::run_app`'s model-aware program selection, but
     // through the cache so the grouping pass also runs once per key.
-    let run = if cfg.model.uses_explicit_switch() {
+    let machine = if cfg.model.uses_explicit_switch() {
         let (grouped, hit) = cache.grouped(spec.app, spec.scale, spec.nthreads());
         cache_hit = cache_hit && hit;
-        Machine::try_new(cfg, &grouped, app.shared.clone()).and_then(Machine::run)
+        Machine::try_new(cfg, &grouped, app.shared.clone())
     } else {
-        Machine::try_new(cfg, &app.program, app.shared.clone()).and_then(Machine::run)
+        Machine::try_new(cfg, &app.program, app.shared.clone())
+    };
+    let run = match rec.as_mut() {
+        Some(r) => machine.and_then(|m| m.run_with(r)),
+        None => machine.and_then(Machine::run),
     };
 
     let result = match run {
@@ -140,7 +153,11 @@ fn run_one(spec: &JobSpec, cache: &ArtifactCache) -> JobOutcome {
             Ok(()) => Ok(fin.result.stats()),
         },
     };
-    JobOutcome { spec: *spec, result, cache_hit }
+    let attr = match &result {
+        Ok(_) => rec.map(|r| r.attr.summary()),
+        Err(_) => None,
+    };
+    JobOutcome { spec: *spec, result, attr, cache_hit }
 }
 
 #[cfg(test)]

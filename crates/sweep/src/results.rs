@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use mtsim_core::{RunStats, SimError};
+use mtsim_core::{AttrSummary, RunStats, SimError};
 
 use crate::json::JsonBuilder;
 use crate::spec::JobSpec;
@@ -76,6 +76,11 @@ pub struct JobOutcome {
     pub spec: JobSpec,
     /// Run statistics, or why the point failed.
     pub result: Result<RunStats, JobError>,
+    /// Cycle attribution, present only when the job ran with
+    /// [`crate::JobSpec::attr`] set and succeeded. Deterministic, so it
+    /// may appear in the result table — but only for attributed sweeps,
+    /// keeping unattributed output byte-identical to before.
+    pub attr: Option<AttrSummary>,
     /// Whether the application artifact came from the cache. Depends on
     /// scheduling, so it feeds telemetry only — never the result table.
     pub cache_hit: bool,
@@ -185,6 +190,13 @@ impl SweepOutcome {
                     j.key("net_requests").u64(r.net_requests);
                     j.key("net_queue_cycles").u64(r.net_queue_cycles);
                     j.key("net_fa_combined").u64(r.net_fa_combined);
+                    if let Some(a) = &job.attr {
+                        j.key("attr").begin_object();
+                        for (cat, cycles) in a.by_cat() {
+                            j.key(cat.name()).u64(cycles);
+                        }
+                        j.end();
+                    }
                 }
                 Err(e) => {
                     j.key("status").string("error");
@@ -208,12 +220,22 @@ impl SweepOutcome {
     /// The deterministic result table as CSV (same fields and the same
     /// determinism contract as [`SweepOutcome::results_json`]).
     pub fn results_csv(&self) -> String {
+        // Attribution columns appear only when at least one job carries
+        // them (i.e. the sweep ran with `attr = true`), so unattributed
+        // output stays byte-identical to the pre-observability format.
+        let with_attr = self.jobs.iter().any(|j| j.attr.is_some());
         let mut out = String::from(
             "id,app,model,scale,procs,threads,latency,seed,drop_rate,net,status,cycles,\
              instructions,busy,idle,overhead,stalls,switches_taken,switches_skipped,\
              forced_switches,reads_issued,retries,timeouts,utilization,net_requests,\
              net_queue_cycles,net_fa_combined,error_kind\n",
         );
+        if with_attr {
+            let trimmed = out.trim_end().to_string();
+            out = trimmed
+                + ",attr_busy,attr_switch_ovh,attr_mem_stall,attr_lock_spin,\
+                   attr_barrier_wait,attr_idle\n";
+        }
         for job in &self.jobs {
             let s = &job.spec;
             out.push_str(&format!(
@@ -231,7 +253,7 @@ impl SweepOutcome {
             ));
             match &job.result {
                 Ok(r) => out.push_str(&format!(
-                    "ok,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
+                    "ok,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},",
                     r.cycles,
                     r.instructions,
                     r.busy,
@@ -250,9 +272,24 @@ impl SweepOutcome {
                     r.net_fa_combined
                 )),
                 Err(e) => {
-                    out.push_str(&format!("error,,,,,,,,,,,,,,,,,{}\n", e.kind()));
+                    out.push_str(&format!("error,,,,,,,,,,,,,,,,,{}", e.kind()));
                 }
             }
+            if with_attr {
+                match &job.attr {
+                    Some(a) => out.push_str(&format!(
+                        ",{},{},{},{},{},{}",
+                        a.busy,
+                        a.switch_overhead,
+                        a.memory_stall,
+                        a.lock_spin,
+                        a.barrier_wait,
+                        a.idle
+                    )),
+                    None => out.push_str(",,,,,,"),
+                }
+            }
+            out.push('\n');
         }
         out
     }
@@ -305,7 +342,7 @@ mod tests {
             jobs: specs
                 .into_iter()
                 .zip(results)
-                .map(|(spec, result)| JobOutcome { spec, result, cache_hit: false })
+                .map(|(spec, result)| JobOutcome { spec, result, attr: None, cache_hit: false })
                 .collect(),
             workers: 1,
             wall: Duration::from_millis(10),
@@ -341,6 +378,32 @@ mod tests {
         let cols = lines[0].split(',').count();
         assert!(lines[1..].iter().all(|l| l.split(',').count() == cols));
         assert!(lines[2].contains("error") && lines[2].ends_with("panic"));
+    }
+
+    #[test]
+    fn attr_columns_appear_only_for_attributed_sweeps() {
+        let ok = RunStats { processors: 1, cycles: 10, ..RunStats::default() };
+        let plain = outcome_with(vec![Ok(ok)]);
+        assert!(!plain.results_csv().contains("attr_busy"));
+        assert!(!plain.results_json().contains(r#""attr""#));
+
+        let mut attributed = outcome_with(vec![Ok(ok), Ok(ok)]);
+        attributed.jobs[0].attr = Some(AttrSummary {
+            busy: 6,
+            switch_overhead: 1,
+            memory_stall: 2,
+            lock_spin: 0,
+            barrier_wait: 0,
+            idle: 1,
+        });
+        let csv = attributed.results_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].ends_with("attr_barrier_wait,attr_idle"));
+        let cols = lines[0].split(',').count();
+        assert!(lines[1..].iter().all(|l| l.split(',').count() == cols), "ragged csv:\n{csv}");
+        assert!(lines[1].contains(",6,1,2,0,0,1"));
+        let json = attributed.results_json();
+        assert!(json.contains(r#""attr":{"busy":6,"switch-ovh":1,"mem-stall":2"#));
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct SweepSpec {
     pub link_bw: u64,
     /// Whether switches combine concurrent fetch-and-adds (§ combining).
     pub combining: bool,
+    /// Collect per-thread cycle attribution (observability, DESIGN.md
+    /// §17) and append it to the result table. Off by default: the
+    /// attributed run costs a few percent and the extra columns would
+    /// perturb existing golden files.
+    pub attr: bool,
     /// Workload scale preset.
     pub scale: Scale,
     /// Watchdog limit per job, in cycles.
@@ -59,6 +64,7 @@ impl Default for SweepSpec {
             nets: vec![Topology::Constant],
             link_bw: NetworkConfig::constant().link_bw,
             combining: false,
+            attr: false,
             scale: Scale::Small,
             max_cycles: DEFAULT_MAX_CYCLES,
             max_retries: 8,
@@ -136,6 +142,13 @@ impl SweepSpec {
             }
             "combining" => {
                 self.combining = match value {
+                    "true" | "1" | "on" | "yes" => true,
+                    "false" | "0" | "off" | "no" => false,
+                    _ => return Err(ctx(key, &format!("bad boolean {value:?}"))),
+                };
+            }
+            "attr" => {
+                self.attr = match value {
                     "true" | "1" | "on" | "yes" => true,
                     "false" | "0" | "off" | "no" => false,
                     _ => return Err(ctx(key, &format!("bad boolean {value:?}"))),
@@ -255,6 +268,7 @@ impl SweepSpec {
                                             net,
                                             link_bw: self.link_bw,
                                             combining: self.combining,
+                                            attr: self.attr,
                                             scale: self.scale,
                                             max_cycles: self.max_cycles,
                                             max_retries: self.max_retries,
@@ -324,6 +338,8 @@ pub struct JobSpec {
     pub link_bw: u64,
     /// Whether switches combine concurrent fetch-and-adds.
     pub combining: bool,
+    /// Collect per-thread cycle attribution for this point.
+    pub attr: bool,
     /// Workload scale.
     pub scale: Scale,
     /// Watchdog limit in cycles.

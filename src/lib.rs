@@ -13,6 +13,7 @@ pub use mtsim_core as core;
 pub use mtsim_isa as isa;
 pub use mtsim_lang as lang;
 pub use mtsim_mem as mem;
+pub use mtsim_obs as obs;
 pub use mtsim_opt as opt;
 pub use mtsim_rt as rt;
 pub use mtsim_sweep as sweep;

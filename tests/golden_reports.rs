@@ -14,8 +14,9 @@
 //! or an intentional report change (re-bless and review the diff).
 
 use mtsim::sweep::{run_sweep, SweepOpts, SweepSpec};
-use mtsim_apps::Scale;
+use mtsim_apps::{build_app, profile_app, AppKind, Scale};
 use mtsim_bench::tables;
+use mtsim_core::{MachineConfig, SwitchModel};
 use std::path::PathBuf;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -100,4 +101,17 @@ fn sweep_json_and_csv_snapshots() {
 
     check_golden("sweep.json", &one.results_json());
     check_golden("sweep.csv", &one.results_csv());
+}
+
+/// The text flame table (DESIGN.md §17) on Table 2's smallest
+/// configuration: the first paper app at `Tiny` scale, 2 processors × 2
+/// threads, switch-on-load. Attribution is a pure function of the
+/// deterministic simulation, so the rendered bytes are stable.
+#[test]
+fn flame_table_tiny_snapshot() {
+    let kind = AppKind::ALL[0];
+    let app = build_app(kind, Scale::Tiny, 4);
+    let cfg = MachineConfig::new(SwitchModel::SwitchOnLoad, 2, 2);
+    let (_, rec) = profile_app(&app, cfg, 64).expect("flame-table run");
+    check_golden("flame_table.txt", &rec.flame_table());
 }
