@@ -27,21 +27,58 @@ fn main() {
     let workers = jobs_from_args().unwrap_or_else(default_workers);
     println!("sweep_bench: {} grid points (scale {scale:?}), 1 vs {workers} worker(s)", spec.len());
 
-    let serial = run_sweep(&spec, &SweepOpts { workers: Some(1), progress: false }).expect("spec");
-    let parallel =
-        run_sweep(&spec, &SweepOpts { workers: Some(workers), progress: false }).expect("spec");
+    let serial =
+        run_sweep(&spec, &SweepOpts { workers: Some(1), progress: false, ..SweepOpts::default() })
+            .expect("spec");
+    let parallel = run_sweep(
+        &spec,
+        &SweepOpts { workers: Some(workers), progress: false, ..SweepOpts::default() },
+    )
+    .expect("spec");
     assert_eq!(
         serial.results_json(),
         parallel.results_json(),
         "parallel sweep diverged from the serial result table"
     );
 
+    // Crash-safety tax: the same parallel sweep streaming every completed
+    // job to a fsync'd checkpoint (DESIGN.md §18). The overhead budget is
+    // generous — one sealed line + fdatasync per job — but tracking it
+    // keeps the "streaming is effectively free" claim honest.
+    let ckpt = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mtsim-sweep-bench-{}.jsonl", std::process::id()));
+        p.to_string_lossy().into_owned()
+    };
+    let streamed = run_sweep(
+        &spec,
+        &SweepOpts {
+            workers: Some(workers),
+            progress: false,
+            stream: Some(ckpt.clone()),
+            ..SweepOpts::default()
+        },
+    )
+    .expect("spec");
+    assert_eq!(
+        serial.results_json(),
+        streamed.results_json(),
+        "streamed sweep diverged from the serial result table"
+    );
+    std::fs::remove_file(&ckpt).ok();
+
     let serial_s = serial.wall.as_secs_f64();
     let parallel_s = parallel.wall.as_secs_f64();
+    let streamed_s = streamed.wall.as_secs_f64();
     let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 0.0 };
+    let overhead = if parallel_s > 0.0 { streamed_s / parallel_s - 1.0 } else { 0.0 };
     println!("  serial:   {}", serial.summary_line());
     println!("  parallel: {}", parallel.summary_line());
-    println!("  speedup: {speedup:.2}x");
+    println!("  streamed: {}", streamed.summary_line());
+    println!("  speedup: {speedup:.2}x, checkpoint overhead: {:.1}%", overhead * 100.0);
+    if overhead > 0.10 {
+        println!("  WARNING: checkpoint streaming cost more than the 10% budget");
+    }
 
     let mut j = JsonBuilder::new();
     j.begin_object();
@@ -51,7 +88,9 @@ fn main() {
     j.key("workers").u64(workers as u64);
     j.key("serial_ms").f64(serial_s * 1e3);
     j.key("parallel_ms").f64(parallel_s * 1e3);
+    j.key("streamed_ms").f64(streamed_s * 1e3);
     j.key("speedup").f64(speedup);
+    j.key("checkpoint_overhead").f64(overhead);
     j.key("jobs_per_sec").f64(parallel.jobs_per_sec());
     j.key("sim_cycles_per_sec").f64(parallel.sim_cycles_per_sec());
     j.key("cache_hits").u64(parallel.cache_hits);

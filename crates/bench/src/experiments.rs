@@ -307,7 +307,7 @@ pub fn mt_table(scale: Scale, model: SwitchModel, workers: Option<usize>) -> Vec
             });
         }
     }
-    let out = run_job_specs(jobs, &SweepOpts { workers, progress: false });
+    let out = run_job_specs(jobs, &SweepOpts { workers, progress: false, ..SweepOpts::default() });
 
     AppKind::ALL
         .iter()
@@ -633,7 +633,7 @@ pub fn latency_sweep(
             });
         }
     }
-    let out = run_job_specs(jobs, &SweepOpts { workers, progress: false });
+    let out = run_job_specs(jobs, &SweepOpts { workers, progress: false, ..SweepOpts::default() });
     let baseline = stats_or_panic(&out.jobs[0], "latency baseline").cycles;
     latencies
         .iter()
@@ -740,7 +740,7 @@ pub fn net_contention(
             }
         }
     }
-    let out = run_job_specs(jobs, &SweepOpts { workers, progress: false });
+    let out = run_job_specs(jobs, &SweepOpts { workers, progress: false, ..SweepOpts::default() });
 
     let mut curves = Vec::with_capacity(NET_MODELS.len() * configs.len());
     let mut next = 0;

@@ -18,6 +18,9 @@
 //!
 //! Entry points:
 //!
+//! * [`chaos`] — the `mtsim check --chaos` driver: seeded kills,
+//!   truncations, and worker panics against the crash-safe sweep layer
+//!   (DESIGN.md §18), asserting byte-identical recovery.
 //! * [`fuzz`] — the `mtsim check` driver: N seeded cases across the full
 //!   model grid on the work-stealing pool, failures minimized.
 //! * [`check_program`] — one case, one verdict.
@@ -25,12 +28,14 @@
 //!   used to prove the harness catches real reordering bugs.
 
 mod broken;
+mod chaos;
 mod diff;
 mod generate;
 mod oracle;
 mod shrink;
 
 pub use broken::miscompiled_candidates;
+pub use chaos::{chaos, ChaosConfig, ChaosSummary};
 pub use diff::{check_program, compare, fault_profile, CaseFailure, CaseReport, LATENCIES};
 pub use generate::{generate, Cnd, EmittedCase, Stmt, TestProgram, FE, IE};
 pub use oracle::{run_oracle, OracleError, OracleRun};

@@ -21,7 +21,9 @@
 //!             [--net LIST|all] [--link-bw N] [--combining] [--attr]
 //!             [--scale S] [--max-cycles N] [--max-retries N]
 //!             [--jobs N] [--out results.json] [--csv results.csv] [--quiet]
+//!             [--resume FILE.jsonl] [--job-timeout SECS] [--retries N]
 //! mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N]
+//!             [--chaos N]
 //! ```
 //!
 //! `profile` runs one application with the full observability recorder
@@ -44,6 +46,17 @@
 //! deterministic result table is written there; otherwise CSV goes to
 //! stdout. A failing grid point is one failing row, not a dead sweep.
 //!
+//! Crash safety (DESIGN.md §18): with `--out FILE.json` every completed
+//! job also streams to `FILE.json.jsonl` — an fsync'd, checksummed
+//! checkpoint. After a crash, `mtsim sweep --resume FILE.json.jsonl`
+//! (with the same spec) reruns only the missing grid points and writes
+//! output byte-identical to an uninterrupted run; a mismatched spec is
+//! refused. `--job-timeout SECS` cancels attempts exceeding a wall-clock
+//! budget; panicked/timed-out jobs are retried up to `--retries` times
+//! (default 2) with backoff, then quarantined into a `failed_jobs`
+//! section instead of aborting the sweep. `mtsim check --chaos N` runs
+//! the kill/resume chaos harness over N seeded failure injections.
+//!
 //! Latency distributions: `constant` (the paper's model), `uniform:LO:HI`,
 //! `geometric:MIN:MEAN` (MEAN is the average extra tail beyond MIN).
 //!
@@ -53,8 +66,10 @@
 //! fetch-and-adds to one address inside the switches.
 //!
 //! Exit codes: `0` success, `1` the simulation failed (fault exhaustion,
-//! deadlock, watchdog, bad program, wrong results), `2` usage or
-//! configuration error.
+//! deadlock, watchdog, bad program, wrong results), `2` usage,
+//! configuration, or checkpoint-corruption error, `3` sweep completed
+//! but quarantined at least one job, `4` sweep aborted early (checkpoint
+//! write failure); completed jobs remain resumable.
 //!
 //! Examples:
 //!
@@ -74,12 +89,19 @@ use mtsim_sweep::{SweepOpts, SweepSpec};
 
 /// The simulation ran and failed (typed `SimError` or wrong results).
 const EXIT_RUN_FAILED: i32 = 1;
-/// The command line or configuration was invalid; nothing was simulated.
+/// The command line or configuration was invalid — or a checkpoint
+/// failed validation (corruption, spec mismatch); nothing was simulated.
 const EXIT_USAGE: i32 = 2;
+/// The sweep completed but quarantined at least one transiently failing
+/// job (graceful degradation; see DESIGN.md §18).
+const EXIT_QUARANTINED: i32 = 3;
+/// The sweep aborted before finishing the grid (checkpoint write
+/// failure); completed jobs are durable and the sweep is resumable.
+const EXIT_ABORTED: i32 = 4;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n             [--net constant|crossbar|mesh|butterfly] [--link-bw N] [--combining]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault/net flags]\n  mtsim profile <app> [--model M] [-p N] [-t N] [--scale S] [--latency N]\n              [--out trace.json] [--ring N] [--attr] [fault/net flags]\n  mtsim sweep [--spec FILE] [--apps LIST|all] [--models LIST|all] [--p LIST]\n              [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]\n              [--net LIST|all] [--link-bw N] [--combining] [--attr]\n              [--scale S] [--max-cycles N] [--max-retries N]\n              [--jobs N] [--out FILE.json] [--csv FILE.csv] [--quiet]\n  mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N]\n\napps: {}\nmodels: {}",
+        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n             [--net constant|crossbar|mesh|butterfly] [--link-bw N] [--combining]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault/net flags]\n  mtsim profile <app> [--model M] [-p N] [-t N] [--scale S] [--latency N]\n              [--out trace.json] [--ring N] [--attr] [fault/net flags]\n  mtsim sweep [--spec FILE] [--apps LIST|all] [--models LIST|all] [--p LIST]\n              [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]\n              [--net LIST|all] [--link-bw N] [--combining] [--attr]\n              [--scale S] [--max-cycles N] [--max-retries N]\n              [--jobs N] [--out FILE.json] [--csv FILE.csv] [--quiet]\n              [--resume FILE.jsonl] [--job-timeout SECS] [--retries N]\n  mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N] [--chaos N]\n\napps: {}\nmodels: {}",
         AppKind::ALL.map(|a| a.name()).join(", "),
         SwitchModel::ALL.map(|m| m.name()).join(", ")
     );
@@ -262,10 +284,15 @@ fn main() {
                 "jobs",
                 "out",
                 "csv",
+                "resume",
+                "job-timeout",
+                "retries",
             ],
             &["quiet", "combining", "attr"],
         )),
-        Some("check") => cmd_check(&Args::parse(&["fuzz", "seed", "jobs", "shrink-budget"], &[])),
+        Some("check") => {
+            cmd_check(&Args::parse(&["fuzz", "seed", "jobs", "shrink-budget", "chaos"], &[]))
+        }
         _ => usage(),
     }
 }
@@ -280,6 +307,28 @@ fn parse_seed(flag: &str, v: &str) -> u64 {
 }
 
 fn cmd_check(args: &Args) {
+    if let Some(v) = args.get("chaos") {
+        let mut cfg =
+            mtsim_check::ChaosConfig { trials: parse_num("chaos", v), ..Default::default() };
+        if cfg.trials == 0 {
+            bad_usage("--chaos must be >= 1");
+        }
+        if let Some(v) = args.get("seed") {
+            cfg.seed = parse_seed("seed", v);
+        }
+        if let Some(v) = args.get("jobs") {
+            cfg.workers = parse_num("jobs", v);
+            if cfg.workers == 0 {
+                bad_usage("--jobs must be >= 1");
+            }
+        }
+        let summary = mtsim_check::chaos(cfg);
+        print!("{}", summary.report());
+        if !summary.passed() {
+            std::process::exit(EXIT_RUN_FAILED);
+        }
+        return;
+    }
     let mut cfg = mtsim_check::FuzzConfig::default();
     if let Some(v) = args.get("fuzz") {
         cfg.cases = parse_num("fuzz", v);
@@ -359,12 +408,42 @@ fn cmd_sweep(args: &Args) {
         n
     });
     let quiet = args.has("quiet");
-    let opts = SweepOpts { workers, progress: !quiet && std::io::stderr().is_terminal() };
+    let job_timeout = args.get("job-timeout").map(|v| {
+        let secs: f64 = parse_num("job-timeout", v);
+        if !(secs > 0.0 && secs.is_finite()) {
+            bad_usage("--job-timeout must be a positive number of seconds");
+        }
+        std::time::Duration::from_secs_f64(secs)
+    });
+    let retries: u32 = args.get("retries").map(|v| parse_num("retries", v)).unwrap_or(2);
+    // Streaming rides along with --out: the checkpoint lives next to the
+    // final table. On resume the checkpoint path is the stream.
+    let resume = args.get("resume");
+    let stream = match resume {
+        Some(_) => None, // resume_sweep reopens the checkpoint itself
+        None => args.get("out").map(|o| format!("{o}.jsonl")),
+    };
+    let opts = SweepOpts {
+        workers,
+        progress: !quiet && std::io::stderr().is_terminal(),
+        stream,
+        job_timeout,
+        retries,
+        chaos: None,
+    };
 
-    let out = match mtsim_sweep::run_sweep(&spec, &opts) {
+    let run = match resume {
+        Some(path) => mtsim_sweep::resume_sweep(&spec, &opts, path),
+        None => mtsim_sweep::run_sweep(&spec, &opts),
+    };
+    let out = match run {
         Ok(out) => out,
+        Err(e @ mtsim_sweep::SweepError::Aborted { .. }) => {
+            eprintln!("error: {e}");
+            std::process::exit(EXIT_ABORTED);
+        }
         Err(e) => {
-            eprintln!("error: invalid sweep: {e}");
+            eprintln!("error: {e}");
             std::process::exit(EXIT_USAGE);
         }
     };
@@ -395,12 +474,16 @@ fn cmd_sweep(args: &Args) {
         for job in out.jobs.iter().filter(|j| j.result.is_err()) {
             let s = &job.spec;
             if let Err(e) = &job.result {
+                let tag = if job.quarantined { "quarantined" } else { "failed" };
                 eprintln!(
-                    "  failed: job {} ({} {} p={} t={} latency={} seed={}): {e}",
+                    "  {tag}: job {} ({} {} p={} t={} latency={} seed={}): {e}",
                     s.id, s.app, s.model, s.procs, s.threads_per_proc, s.latency, s.seed
                 );
             }
         }
+    }
+    if out.quarantined_count() > 0 {
+        std::process::exit(EXIT_QUARANTINED);
     }
     if out.failed_count() > 0 {
         std::process::exit(EXIT_RUN_FAILED);

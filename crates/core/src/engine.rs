@@ -92,6 +92,10 @@ pub struct Machine {
     /// configured; `None` leaves the paper's constant-latency path —
     /// and every existing golden number — untouched.
     net: Option<Network>,
+    /// External cancel token, polled from the step loop. `None` (the
+    /// default) costs one predictable branch per step; a supervisor that
+    /// sets the flag turns the run into [`SimError::Cancelled`].
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 /// A completed run: statistics plus the final shared-memory image (for
@@ -182,7 +186,23 @@ impl Machine {
             trace: collect_trace.then(Vec::new),
             fault,
             net,
+            cancel: None,
         })
+    }
+
+    /// Attaches an external cancel token. A supervisor thread (e.g. the
+    /// sweep pool's per-job wall-clock watchdog) stores `true` into the
+    /// token; the engine polls it from the step loop and aborts the run
+    /// with [`SimError::Cancelled`] within a few simulated instructions.
+    /// Without a token the poll compiles to a single never-taken branch,
+    /// so undecorated runs stay on the measured fast path.
+    #[must_use]
+    pub fn with_cancel_token(
+        mut self,
+        token: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    ) -> Machine {
+        self.cancel = Some(token);
+        self
     }
 
     /// The machine's configuration.
@@ -305,6 +325,7 @@ impl Machine {
         let trace = &mut self.trace;
         let fault = &mut self.fault;
         let net = &mut self.net;
+        let cancel = self.cancel.as_deref();
         let proc = &mut self.procs[p];
 
         #[cfg(feature = "debug-invariants")]
@@ -326,6 +347,11 @@ impl Machine {
                     halted_threads: threads.iter().filter(|t| t.halted).count(),
                     total_threads: threads.len(),
                 });
+            }
+            if let Some(token) = cancel {
+                if token.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err(SimError::Cancelled { cycle: proc.time });
+                }
             }
 
             // Pick a thread if none is running: first runnable in

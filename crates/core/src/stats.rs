@@ -189,6 +189,15 @@ pub enum SimError {
         /// Human-readable description.
         detail: String,
     },
+    /// An external supervisor (e.g. the sweep pool's per-job wall-clock
+    /// watchdog) tripped the machine's cancel token mid-run. Unlike
+    /// [`SimError::Watchdog`] — the deterministic simulated-cycle budget —
+    /// cancellation depends on host wall-clock and is therefore never part
+    /// of a deterministic result table.
+    Cancelled {
+        /// Simulated cycle at which the engine observed the token.
+        cycle: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -221,6 +230,9 @@ impl std::fmt::Display for SimError {
                 write!(f, "bad program: {detail} (thread {thread}, pc {pc})")
             }
             SimError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+            SimError::Cancelled { cycle } => {
+                write!(f, "run cancelled by supervisor at cycle {cycle}")
+            }
         }
     }
 }

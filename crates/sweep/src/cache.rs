@@ -2,25 +2,43 @@
 //!
 //! A grid point needs two artifacts: the built application (program +
 //! initialized shared memory + verifier) keyed by `(app, scale,
-//! nthreads)`, and — under the explicit/conditional switch models — the
-//! grouped program produced by the load-grouping pass. Without the cache,
-//! an N-point grid performs N codegen and N grouping passes; with it,
-//! each distinct key builds once and every other point clones an `Arc`.
+//! nthreads)` — the program's *shape*, i.e. everything codegen depends
+//! on — and, under the explicit/conditional switch models, the grouped
+//! program produced by the load-grouping pass. Two guarantees hold at
+//! any worker count:
+//!
+//! * **Each key builds exactly once.** Every key maps to a `OnceLock`
+//!   slot; concurrent first lookups race to initialize it, the losers
+//!   block until the winner finishes, and nobody builds a duplicate
+//!   that gets thrown away. That also makes the hit/miss counters
+//!   deterministic: misses ≡ distinct keys built, hits ≡ everything
+//!   else.
+//! * **Grouping is deduplicated by program content.** Some applications
+//!   emit the same program at every thread count (only their input
+//!   image differs), so grouped programs are keyed by a content hash of
+//!   the built program rather than the full `(app, scale, nthreads)`
+//!   key — those apps pay for one grouping pass per sweep, not one per
+//!   thread-count axis value.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use mtsim_apps::{build_app, AppKind, BuiltApp, Scale};
 use mtsim_asm::Program;
 
+use crate::checkpoint::fnv1a64;
+
 type Key = (AppKind, Scale, usize);
+type Slot<T> = Arc<OnceLock<T>>;
 
 /// Thread-safe cache of built applications and grouped programs.
 #[derive(Default)]
 pub struct ArtifactCache {
-    built: Mutex<HashMap<Key, Arc<BuiltApp>>>,
-    grouped: Mutex<HashMap<Key, Arc<Program>>>,
+    built: Mutex<HashMap<Key, Slot<Arc<BuiltApp>>>>,
+    /// Grouped programs keyed by the *content hash* of the source
+    /// program, so shape-invariant programs group once per sweep.
+    grouped: Mutex<HashMap<u64, Slot<Arc<Program>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -31,48 +49,56 @@ impl ArtifactCache {
         ArtifactCache::default()
     }
 
-    /// The built application for `(app, scale, nthreads)`, constructing it
-    /// on first use. The boolean is true on a cache hit.
+    /// The built application for `(app, scale, nthreads)`, constructing
+    /// it on first use. The boolean is true on a cache hit (this call
+    /// did not perform the build — it may still have *waited* for a
+    /// concurrent builder).
     pub fn built(&self, app: AppKind, scale: Scale, nthreads: usize) -> (Arc<BuiltApp>, bool) {
-        let key = (app, scale, nthreads);
-        if let Some(hit) = self.built.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(hit), true);
-        }
-        // Build outside the lock: app construction (codegen + input image)
-        // is the expensive part, and a concurrent duplicate build is
-        // harmless because construction is deterministic — whichever copy
-        // loses the insert race is simply dropped.
-        let fresh = Arc::new(build_app(app, scale, nthreads));
-        let mut map = self.built.lock().unwrap();
-        let entry = map.entry(key).or_insert(fresh);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        (Arc::clone(entry), false)
+        let slot =
+            Arc::clone(self.built.lock().unwrap().entry((app, scale, nthreads)).or_default());
+        // Build outside the map lock: codegen + input-image construction
+        // is the expensive part and must not serialize unrelated keys.
+        let mut built_here = false;
+        let value = slot.get_or_init(|| {
+            built_here = true;
+            Arc::new(build_app(app, scale, nthreads))
+        });
+        self.count(built_here);
+        (Arc::clone(value), !built_here)
     }
 
-    /// The grouped (explicit-switch) program for `(app, scale, nthreads)`,
-    /// deriving it from the built application on first use. The boolean is
-    /// true on a cache hit.
+    /// The grouped (explicit-switch) program for `(app, scale,
+    /// nthreads)`, deriving it from the built application on first use.
+    /// The boolean is true on a cache hit.
     pub fn grouped(&self, app: AppKind, scale: Scale, nthreads: usize) -> (Arc<Program>, bool) {
-        let key = (app, scale, nthreads);
-        if let Some(hit) = self.grouped.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(hit), true);
-        }
         let (base, _) = self.built(app, scale, nthreads);
-        let fresh = Arc::new(base.grouped().0);
-        let mut map = self.grouped.lock().unwrap();
-        let entry = map.entry(key).or_insert(fresh);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        (Arc::clone(entry), false)
+        let content = fnv1a64(base.program.listing().as_bytes());
+        let slot = Arc::clone(self.grouped.lock().unwrap().entry(content).or_default());
+        let mut built_here = false;
+        let value = slot.get_or_init(|| {
+            built_here = true;
+            Arc::new(base.grouped().0)
+        });
+        self.count(built_here);
+        (Arc::clone(value), !built_here)
     }
 
-    /// Cache hits so far.
+    fn count(&self, built_here: bool) {
+        if built_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cache hits so far. Deterministic for a fixed job set: total
+    /// lookups minus [`ArtifactCache::misses`].
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Cache misses (i.e. builds performed) so far.
+    /// Cache misses — i.e. builds actually performed — so far.
+    /// Deterministic for a fixed job set: one per distinct artifact.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
@@ -112,5 +138,32 @@ mod tests {
         assert_eq!(*grouped, fresh);
         let (_, hit2) = cache.grouped(AppKind::Sieve, Scale::Tiny, 2);
         assert!(hit2);
+    }
+
+    #[test]
+    fn grouping_dedupes_shape_invariant_programs() {
+        // Blkmat emits the same program at every thread count (only its
+        // input image differs), so two thread counts share one grouping.
+        let cache = ArtifactCache::new();
+        let (g1, _) = cache.grouped(AppKind::Blkmat, Scale::Tiny, 1);
+        let (g2, hit) = cache.grouped(AppKind::Blkmat, Scale::Tiny, 2);
+        assert!(Arc::ptr_eq(&g1, &g2), "identical programs must share a grouping");
+        assert!(hit);
+        // Sieve's program depends on the thread count, so it must not.
+        let (s1, _) = cache.grouped(AppKind::Sieve, Scale::Tiny, 1);
+        let (s2, _) = cache.grouped(AppKind::Sieve, Scale::Tiny, 2);
+        assert!(!Arc::ptr_eq(&s1, &s2));
+    }
+
+    #[test]
+    fn concurrent_first_lookups_build_exactly_once() {
+        let cache = ArtifactCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| cache.built(AppKind::Sor, Scale::Tiny, 4));
+            }
+        });
+        assert_eq!(cache.misses(), 1, "duplicate concurrent build");
+        assert_eq!(cache.hits(), 7);
     }
 }

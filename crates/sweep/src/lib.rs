@@ -12,6 +12,15 @@
 //! [`mtsim_core::RunStats`] into a result table whose JSON/CSV renderings
 //! are byte-identical at any worker count.
 //!
+//! On top of that sits a crash-safe execution layer (DESIGN.md §18):
+//! completed jobs stream to an fsync'd, checksummed `.jsonl` checkpoint
+//! the moment they finish; [`resume_sweep`] re-derives the remaining
+//! grid from a checkpoint and produces output byte-identical to an
+//! uninterrupted run; per-job wall-clock watchdogs cancel runaway
+//! simulations; and transiently failing jobs (panics, timeouts) are
+//! retried with backoff and quarantined — not fatal — when they keep
+//! failing.
+//!
 //! ```
 //! use mtsim_sweep::{run_sweep, SweepOpts, SweepSpec};
 //!
@@ -24,55 +33,217 @@
 //! ```
 
 mod cache;
+pub mod checkpoint;
 pub mod json;
 mod pool;
 mod results;
 mod spec;
+mod stream;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use mtsim_core::{Machine, ObsRecorder};
 
 pub use cache::ArtifactCache;
-pub use pool::{default_workers, run_jobs};
+pub use checkpoint::{load_checkpoint, spec_hash, Checkpoint, SweepError};
+pub use pool::{default_workers, run_jobs, run_jobs_partial, Watchdog};
 pub use results::{JobError, JobOutcome, SweepOutcome};
 pub use spec::{JobSpec, SweepSpec, DEFAULT_MAX_CYCLES};
+pub use stream::StreamWriter;
 
 /// Execution options for a sweep.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SweepOpts {
     /// Worker threads; `None` means [`default_workers`].
     pub workers: Option<usize>,
     /// Emit a live `[done/total]` progress line on stderr.
     pub progress: bool,
+    /// Stream each completed job to this checkpoint file (fsync'd,
+    /// checksummed JSON lines; see DESIGN.md §18). `None` disables
+    /// streaming; results then exist only in the returned outcome.
+    pub stream: Option<String>,
+    /// Wall-clock budget per job *attempt*. When set, a watchdog thread
+    /// cancels attempts that exceed it; the job fails with kind
+    /// `"timeout"` and is retried like a panic. `None` disables the
+    /// watchdog (the deterministic simulated-cycle budget
+    /// [`SweepSpec::max_cycles`] always applies regardless).
+    pub job_timeout: Option<Duration>,
+    /// Extra attempts for jobs that fail *transiently* (panic or
+    /// wall-clock timeout). Typed simulator and verifier errors are
+    /// deterministic and never retried. Jobs still failing after
+    /// `1 + retries` attempts are quarantined.
+    pub retries: u32,
+    /// Orchestration-level fault injection for the chaos harness.
+    pub chaos: Option<ChaosPlan>,
+}
+
+impl Default for SweepOpts {
+    fn default() -> SweepOpts {
+        SweepOpts {
+            workers: None,
+            progress: false,
+            stream: None,
+            job_timeout: None,
+            retries: 2,
+            chaos: None,
+        }
+    }
+}
+
+/// Seeded orchestration-failure injection (testing hook for the chaos
+/// harness in `mtsim-check`): worker panics at job boundaries and
+/// simulated kills after a fixed number of completions. Production runs
+/// leave this `None`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Job ids that panic on their *first* attempt (the retry layer then
+    /// gets to prove a clean second attempt heals the sweep).
+    pub panic_once: Vec<usize>,
+    /// Abort the sweep once this many jobs have completed in this run —
+    /// a kill at a job boundary. The checkpoint keeps everything that
+    /// finished; the run returns [`SweepError::Aborted`].
+    pub kill_after: Option<usize>,
 }
 
 /// Expands `spec` and runs every grid point.
 ///
 /// # Errors
 ///
-/// Returns an error when the spec fails [`SweepSpec::validate`]; failures
-/// of individual grid points are reported per job in the outcome, never
-/// as a sweep-level error.
-pub fn run_sweep(spec: &SweepSpec, opts: &SweepOpts) -> Result<SweepOutcome, String> {
-    spec.validate()?;
-    Ok(run_job_specs(spec.expand(), opts))
+/// [`SweepError::Config`] when the spec fails [`SweepSpec::validate`];
+/// [`SweepError::Io`]/[`SweepError::Aborted`] only for streaming sweeps
+/// whose checkpoint cannot be written. Failures of individual grid
+/// points are reported per job in the outcome, never as a sweep-level
+/// error.
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOpts) -> Result<SweepOutcome, SweepError> {
+    spec.validate().map_err(SweepError::Config)?;
+    let jobs = spec.expand();
+    let writer = match &opts.stream {
+        None => None,
+        Some(path) => Some(StreamWriter::create(path, spec_hash(spec), jobs.len())?),
+    };
+    execute(jobs, Vec::new(), writer, opts)
+}
+
+/// Resumes an interrupted streaming sweep from its checkpoint.
+///
+/// The checkpoint is validated line by line; completed jobs are taken
+/// from it verbatim and only the remaining grid points run. The final
+/// result table is byte-identical to an uninterrupted run of the same
+/// spec. A torn final line (crash mid-append) is discarded with a
+/// warning and that job simply re-runs; any other inconsistency is a
+/// typed error.
+///
+/// # Errors
+///
+/// [`SweepError::Config`] for an invalid spec, [`SweepError::Corrupt`]
+/// for a damaged checkpoint, [`SweepError::SpecMismatch`] when the
+/// checkpoint belongs to a different spec, [`SweepError::Io`] when the
+/// file cannot be read or reopened, and [`SweepError::Aborted`] when
+/// the resumed run itself fails to keep streaming.
+pub fn resume_sweep(
+    spec: &SweepSpec,
+    opts: &SweepOpts,
+    path: &str,
+) -> Result<SweepOutcome, SweepError> {
+    spec.validate().map_err(SweepError::Config)?;
+    let jobs = spec.expand();
+    let hash = spec_hash(spec);
+    let ckpt = load_checkpoint(path)?;
+    if ckpt.spec_hash != hash {
+        return Err(SweepError::SpecMismatch { expected: hash, found: ckpt.spec_hash });
+    }
+    if ckpt.total != jobs.len() {
+        return Err(SweepError::Corrupt {
+            path: path.to_string(),
+            line: 1,
+            detail: format!(
+                "header says {} grid points but the spec expands to {}",
+                ckpt.total,
+                jobs.len()
+            ),
+        });
+    }
+    if ckpt.torn_tail {
+        eprintln!(
+            "warning: {path}: discarded a torn final record (crash mid-append); \
+             that job will re-run"
+        );
+    }
+    let writer = StreamWriter::reopen(path, &ckpt)?;
+    let mut prior: Vec<JobOutcome> = ckpt
+        .records
+        .into_values()
+        .map(|r| JobOutcome {
+            spec: jobs[r.id],
+            result: r.result,
+            attr: r.attr,
+            cache_hit: false,
+            attempts: r.attempts,
+            quarantined: r.quarantined,
+        })
+        .collect();
+    prior.sort_by_key(|o| o.spec.id);
+    let done: std::collections::HashSet<usize> = prior.iter().map(|o| o.spec.id).collect();
+    let remaining: Vec<JobSpec> = jobs.into_iter().filter(|j| !done.contains(&j.id)).collect();
+    execute(remaining, prior, Some(writer), opts)
 }
 
 /// Runs an explicit job list — the escape hatch for grids a cartesian
 /// [`SweepSpec`] cannot express (per-app processor counts, mixed
 /// baselines). Ids are the caller's; the outcome is sorted by id, so the
 /// submission order never shows in the results.
+///
+/// Streaming and chaos kills need a [`SweepSpec`] to hash, so this entry
+/// point ignores [`SweepOpts::stream`] and rejects kill plans; use
+/// [`run_sweep`] for crash-safe runs.
 pub fn run_job_specs(jobs: Vec<JobSpec>, opts: &SweepOpts) -> SweepOutcome {
+    debug_assert!(opts.stream.is_none(), "run_job_specs does not stream; use run_sweep");
+    debug_assert!(
+        opts.chaos.as_ref().is_none_or(|c| c.kill_after.is_none()),
+        "run_job_specs cannot simulate kills; use run_sweep"
+    );
+    let opts = SweepOpts { stream: None, ..opts.clone() };
+    execute(jobs, Vec::new(), None, &opts)
+        .expect("a non-streaming sweep cannot fail at the sweep level")
+}
+
+/// Shared executor: runs `remaining`, appends each completion to the
+/// stream (when present), merges with `prior` outcomes from a
+/// checkpoint, and sorts by id.
+fn execute(
+    remaining: Vec<JobSpec>,
+    prior: Vec<JobOutcome>,
+    writer: Option<StreamWriter>,
+    opts: &SweepOpts,
+) -> Result<SweepOutcome, SweepError> {
     let workers = opts.workers.unwrap_or_else(default_workers);
-    let total = jobs.len();
+    let total = prior.len() + remaining.len();
     let cache = ArtifactCache::new();
-    let done = AtomicUsize::new(0);
+    let done = AtomicUsize::new(prior.len());
     let started = Instant::now();
 
-    let ran = pool::run_jobs(jobs, workers, |_, spec| {
-        let outcome = run_one(spec, &cache);
+    let watchdog = opts.job_timeout.map(|_| Watchdog::new());
+    let writer = Mutex::new(writer);
+    let first_error: Mutex<Option<SweepError>> = Mutex::new(None);
+    let stop = AtomicBool::new(false);
+    let completed_this_run = AtomicUsize::new(0);
+    let kill_after = opts.chaos.as_ref().and_then(|c| c.kill_after);
+
+    let ran = pool::run_jobs_partial(remaining, workers, &stop, |_, spec| {
+        let outcome = run_one_with_retries(spec, &cache, opts, watchdog.as_ref());
+        if let Some(w) = writer.lock().unwrap().as_mut() {
+            if let Err(e) = w.append(&outcome) {
+                stop.store(true, Ordering::Relaxed);
+                first_error.lock().unwrap().get_or_insert(e);
+            }
+        }
+        let n = completed_this_run.fetch_add(1, Ordering::Relaxed) + 1;
+        if kill_after.is_some_and(|k| n >= k) {
+            stop.store(true, Ordering::Relaxed);
+        }
         if opts.progress {
             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
             eprint!(
@@ -86,31 +257,93 @@ pub fn run_job_specs(jobs: Vec<JobSpec>, opts: &SweepOpts) -> SweepOutcome {
         eprintln!();
     }
 
-    let mut outcomes: Vec<JobOutcome> = ran
-        .into_iter()
-        .map(|(spec, result)| match result {
-            Ok(outcome) => outcome,
-            Err(message) => JobOutcome {
-                spec,
-                result: Err(JobError::Panic { message }),
-                attr: None,
-                cache_hit: false,
-            },
-        })
-        .collect();
+    let completed = prior.len() + ran.len();
+    if let Some(e) = first_error.lock().unwrap().take() {
+        return Err(SweepError::Aborted { reason: e.to_string(), completed });
+    }
+    // A kill that fires after the last job is a no-op: everything is
+    // durable, so the sweep simply completed.
+    if kill_after.is_some() && completed < total {
+        return Err(SweepError::Aborted {
+            reason: "chaos: injected kill at a job boundary".into(),
+            completed,
+        });
+    }
+
+    let mut outcomes = prior;
+    outcomes.extend(ran.into_iter().map(|(_, spec, result)| match result {
+        Ok(outcome) => outcome,
+        // A panic that escaped the retry layer itself (bookkeeping bug,
+        // not a job failure) still degrades to one failed row.
+        Err(message) => JobOutcome::once(spec, Err(JobError::Panic { message })),
+    }));
     outcomes.sort_by_key(|o| o.spec.id);
 
-    SweepOutcome {
+    Ok(SweepOutcome {
         jobs: outcomes,
         workers,
         wall: started.elapsed(),
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
+    })
+}
+
+/// Runs one grid point, retrying transient failures (panics and
+/// wall-clock timeouts) with exponential backoff and quarantining the
+/// job once the budget is spent. Deterministic failures (typed simulator
+/// errors, verify mismatches) return immediately — rerunning them would
+/// produce the same result.
+fn run_one_with_retries(
+    spec: &JobSpec,
+    cache: &ArtifactCache,
+    opts: &SweepOpts,
+    watchdog: Option<&Watchdog>,
+) -> JobOutcome {
+    let attempts_allowed = 1 + opts.retries;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let armed = match (watchdog, opts.job_timeout) {
+            (Some(dog), Some(budget)) => Some(dog.arm(budget)),
+            _ => None,
+        };
+        let cancel = armed.as_ref().map(|a| a.token());
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if attempt == 1 {
+                if let Some(chaos) = &opts.chaos {
+                    if chaos.panic_once.contains(&spec.id) {
+                        panic!("chaos: injected panic at job {}", spec.id);
+                    }
+                }
+            }
+            run_one(spec, cache, cancel)
+        }));
+        drop(armed);
+        let mut outcome = match run {
+            Ok(outcome) => outcome,
+            Err(payload) => JobOutcome::once(
+                *spec,
+                Err(JobError::Panic { message: pool::panic_message(payload.as_ref()) }),
+            ),
+        };
+        outcome.attempts = attempt;
+        let transient =
+            matches!(&outcome.result, Err(e) if e.kind() == "panic" || e.kind() == "timeout");
+        if !transient {
+            return outcome;
+        }
+        if attempt >= attempts_allowed {
+            outcome.quarantined = true;
+            return outcome;
+        }
+        // Exponential backoff, capped: transient failures are usually
+        // resource pressure, and hammering makes that worse.
+        std::thread::sleep(Duration::from_millis(10u64 << attempt.min(5)));
     }
 }
 
 /// Runs a single grid point against the shared artifact cache.
-fn run_one(spec: &JobSpec, cache: &ArtifactCache) -> JobOutcome {
+fn run_one(spec: &JobSpec, cache: &ArtifactCache, cancel: Option<Arc<AtomicBool>>) -> JobOutcome {
     let (app, mut cache_hit) = cache.built(spec.app, spec.scale, spec.nthreads());
     let cfg = spec.config();
     if cfg.total_threads() != app.nthreads {
@@ -124,6 +357,8 @@ fn run_one(spec: &JobSpec, cache: &ArtifactCache) -> JobOutcome {
             result: Err(JobError::Sim { kind: "config", message }),
             attr: None,
             cache_hit,
+            attempts: 1,
+            quarantined: false,
         };
     }
 
@@ -141,6 +376,10 @@ fn run_one(spec: &JobSpec, cache: &ArtifactCache) -> JobOutcome {
     } else {
         Machine::try_new(cfg, &app.program, app.shared.clone())
     };
+    let machine = match cancel {
+        Some(token) => machine.map(|m| m.with_cancel_token(token)),
+        None => machine,
+    };
     let run = match rec.as_mut() {
         Some(r) => machine.and_then(|m| m.run_with(r)),
         None => machine.and_then(Machine::run),
@@ -157,7 +396,7 @@ fn run_one(spec: &JobSpec, cache: &ArtifactCache) -> JobOutcome {
         Ok(_) => rec.map(|r| r.attr.summary()),
         Err(_) => None,
     };
-    JobOutcome { spec: *spec, result, attr, cache_hit }
+    JobOutcome { spec: *spec, result, attr, cache_hit, attempts: 1, quarantined: false }
 }
 
 #[cfg(test)]
@@ -195,7 +434,10 @@ mod tests {
     #[test]
     fn invalid_spec_is_a_sweep_level_error() {
         let spec = SweepSpec { procs: vec![], ..SweepSpec::default() };
-        assert!(run_sweep(&spec, &SweepOpts::default()).is_err());
+        match run_sweep(&spec, &SweepOpts::default()) {
+            Err(SweepError::Config(_)) => {}
+            other => panic!("expected Config error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -205,5 +447,59 @@ mod tests {
         let out = run_job_specs(jobs, &SweepOpts { workers: Some(3), ..SweepOpts::default() });
         let ids: Vec<usize> = out.jobs.iter().map(|j| j.spec.id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn injected_panic_heals_on_retry_and_quarantines_without_budget() {
+        let spec = SweepSpec { scale: Scale::Tiny, ..tiny_spec() };
+        let chaos = ChaosPlan { panic_once: vec![1], kill_after: None };
+
+        let healed = run_sweep(
+            &spec,
+            &SweepOpts { retries: 2, chaos: Some(chaos.clone()), ..SweepOpts::default() },
+        )
+        .unwrap();
+        assert_eq!(healed.ok_count(), 4);
+        assert_eq!(healed.quarantined_count(), 0);
+        assert_eq!(healed.jobs[1].attempts, 2, "the panicked job must have retried");
+        let clean = run_sweep(&spec, &SweepOpts::default()).unwrap();
+        assert_eq!(clean.results_json(), healed.results_json());
+
+        let starved =
+            run_sweep(&spec, &SweepOpts { retries: 0, chaos: Some(chaos), ..SweepOpts::default() })
+                .unwrap();
+        assert_eq!(starved.quarantined_count(), 1);
+        assert_eq!(starved.jobs[1].result.as_ref().unwrap_err().kind(), "panic");
+        assert!(starved.results_json().contains("failed_jobs"));
+    }
+
+    #[test]
+    fn wall_clock_watchdog_times_out_and_quarantines_a_stuck_job() {
+        // A zero wall budget is pre-expired: every attempt is cancelled,
+        // so the job exhausts its retries and lands in quarantine with
+        // kind "timeout" while the sweep itself completes.
+        let spec = SweepSpec {
+            apps: vec![AppKind::Sor],
+            models: vec![SwitchModel::SwitchOnLoad],
+            procs: vec![2],
+            threads: vec![1],
+            scale: Scale::Small,
+            ..SweepSpec::default()
+        };
+        let out = run_sweep(
+            &spec,
+            &SweepOpts {
+                workers: Some(1),
+                job_timeout: Some(Duration::ZERO),
+                retries: 1,
+                ..SweepOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.jobs.len(), 1);
+        let job = &out.jobs[0];
+        assert_eq!(job.result.as_ref().unwrap_err().kind(), "timeout");
+        assert!(job.quarantined);
+        assert_eq!(job.attempts, 2);
     }
 }

@@ -15,11 +15,13 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One completed job: submission index, the item, and its result (or
 /// caught panic message).
-type Finished<I, O> = (usize, I, Result<O, String>);
+pub type Finished<I, O> = (usize, I, Result<O, String>);
 
 /// Workers to use when the caller does not say: `MTSIM_JOBS` if set and
 /// positive, else the machine's available parallelism, else 1.
@@ -46,6 +48,33 @@ where
     F: Fn(usize, &I) -> O + Sync,
 {
     let total = items.len();
+    let finished = run_jobs_partial(items, workers, &AtomicBool::new(false), f);
+    debug_assert_eq!(finished.len(), total);
+    let mut out: Vec<Option<(I, Result<O, String>)>> = (0..total).map(|_| None).collect();
+    for (idx, item, result) in finished {
+        out[idx] = Some((item, result));
+    }
+    out.into_iter().map(|slot| slot.expect("pool lost a job")).collect()
+}
+
+/// Like [`run_jobs`], but workers stop claiming new jobs once `stop` is
+/// set — jobs already running finish normally. Returns only the jobs
+/// that actually ran, as `(submission index, item, result)` sorted by
+/// index. The crash-safe sweep layer uses this for graceful aborts
+/// (stream-write failure, injected chaos kills): durable progress is
+/// whatever completed, and everything else stays runnable on resume.
+pub fn run_jobs_partial<I, O, F>(
+    items: Vec<I>,
+    workers: usize,
+    stop: &AtomicBool,
+    f: F,
+) -> Vec<Finished<I, O>>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let total = items.len();
     let workers = workers.max(1).min(total.max(1));
     let injector: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
     let locals: Vec<Mutex<VecDeque<(usize, I)>>> =
@@ -59,9 +88,13 @@ where
             .map(|me| {
                 scope.spawn(move || {
                     let mut done = Vec::new();
-                    while let Some((idx, item)) = next_job(me, injector, locals) {
-                        let result = catch_unwind(AssertUnwindSafe(|| f(idx, &item)))
-                            .map_err(|payload| panic_message(payload.as_ref()));
+                    while !stop.load(Ordering::Relaxed) {
+                        let Some((idx, item)) = next_job(me, injector, locals) else { break };
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let _quiet = silence_panics_on_this_thread();
+                            f(idx, &item)
+                        }))
+                        .map_err(|payload| panic_message(payload.as_ref()));
                         done.push((idx, item, result));
                     }
                     done
@@ -71,11 +104,9 @@ where
         handles.into_iter().map(|h| h.join().expect("pool worker panicked outside a job")).collect()
     });
 
-    let mut out: Vec<Option<(I, Result<O, String>)>> = (0..total).map(|_| None).collect();
-    for (idx, item, result) in collected.drain(..).flatten() {
-        out[idx] = Some((item, result));
-    }
-    out.into_iter().map(|slot| slot.expect("pool lost a job")).collect()
+    let mut out: Vec<Finished<I, O>> = collected.drain(..).flatten().collect();
+    out.sort_by_key(|(idx, _, _)| *idx);
+    out
 }
 
 /// Claim the next job for worker `me`: own queue front, then an injector
@@ -91,9 +122,13 @@ fn next_job<I>(
     {
         let mut inj = injector.lock().unwrap();
         if !inj.is_empty() {
-            // Take a small batch: the first job runs now, the rest park in
-            // the local queue where idle peers can steal them back.
-            let batch = inj.len().div_ceil(locals.len()).clamp(1, 4);
+            // Take a batch: the first job runs now, the rest park in the
+            // local queue where idle peers can steal them back. Chunky
+            // batches amortize the injector lock across many small jobs
+            // (a tiny-scale grid point runs in single-digit milliseconds,
+            // so per-claim locking was a measurable tax); stealing from
+            // the back of peers keeps the tail balanced anyway.
+            let batch = inj.len().div_ceil(locals.len()).clamp(1, 16);
             let first = inj.pop_front();
             let mut own = locals[me].lock().unwrap();
             for _ in 1..batch {
@@ -116,15 +151,147 @@ fn next_job<I>(
     None
 }
 
+thread_local! {
+    static SILENCE_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Suppresses the default panic hook's backtrace spew on this thread
+/// until the returned guard drops (including during unwinding). Job
+/// panics are caught by the pool and surfaced as structured errors, so
+/// the hook's stderr dump is pure noise — doubly so under chaos
+/// injection, which panics on purpose dozens of times per run. The
+/// forwarding hook is installed once, process-wide, and delegates to the
+/// previous hook everywhere the thread-local flag is unset.
+pub(crate) fn silence_panics_on_this_thread() -> impl Drop {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCE_PANICS.with(|s| s.get()) {
+                prev(info);
+            }
+        }));
+    });
+    struct Quiet;
+    impl Drop for Quiet {
+        fn drop(&mut self) {
+            SILENCE_PANICS.with(|s| s.set(false));
+        }
+    }
+    SILENCE_PANICS.with(|s| s.set(true));
+    Quiet
+}
+
 /// Best-effort extraction of a panic payload (`&str` and `String` cover
 /// everything `panic!` produces in practice).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
         "panic with non-string payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-job wall-clock watchdog
+// ---------------------------------------------------------------------------
+
+struct WatchdogInner {
+    /// Active deadlines: (slot id, deadline, the job's cancel token).
+    active: Mutex<Vec<(u64, Instant, Arc<AtomicBool>)>>,
+    quit: AtomicBool,
+    next_id: AtomicU64,
+}
+
+/// A deadline thread that cancels jobs exceeding their wall-clock
+/// budget.
+///
+/// Rust threads cannot be killed, so enforcement is cooperative: each
+/// armed job gets an `Arc<AtomicBool>` cancel token that the worker
+/// threads through [`mtsim_core::Machine::with_cancel_token`]; the
+/// engine polls it once per step and bails out with
+/// `SimError::Cancelled`, which the sweep layer reports as a `timeout`
+/// and treats as transient (retryable). One watchdog thread serves the
+/// whole pool — the scan list never exceeds the worker count.
+pub struct Watchdog {
+    inner: Arc<WatchdogInner>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Spawns the deadline thread.
+    pub fn new() -> Watchdog {
+        let inner = Arc::new(WatchdogInner {
+            active: Mutex::new(Vec::new()),
+            quit: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+        });
+        let scan = Arc::clone(&inner);
+        let thread = std::thread::Builder::new()
+            .name("mtsim-watchdog".into())
+            .spawn(move || {
+                while !scan.quit.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    for (_, deadline, token) in scan.active.lock().unwrap().iter() {
+                        if now >= *deadline {
+                            token.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog { inner, thread: Some(thread) }
+    }
+
+    /// Arms a fresh cancel token with `budget` of wall-clock time. The
+    /// token disarms (and stops being scanned) when the guard drops, so
+    /// each retry attempt re-arms with a full budget.
+    pub fn arm(&self, budget: Duration) -> ArmedToken {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        // A zero budget is already expired: trip synchronously so jobs
+        // faster than the scan interval still observe the deadline
+        // (deterministic behaviour the tests rely on).
+        let token = Arc::new(AtomicBool::new(budget.is_zero()));
+        self.inner.active.lock().unwrap().push((id, Instant::now() + budget, Arc::clone(&token)));
+        ArmedToken { id, token, inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl Default for Watchdog {
+    fn default() -> Watchdog {
+        Watchdog::new()
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.inner.quit.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+/// An armed per-job cancel token; disarms on drop.
+pub struct ArmedToken {
+    id: u64,
+    token: Arc<AtomicBool>,
+    inner: Arc<WatchdogInner>,
+}
+
+impl ArmedToken {
+    /// The cancel token to hand to the engine.
+    pub fn token(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.token)
+    }
+}
+
+impl Drop for ArmedToken {
+    fn drop(&mut self) {
+        self.inner.active.lock().unwrap().retain(|(id, _, _)| *id != self.id);
     }
 }
 
@@ -168,6 +335,37 @@ mod tests {
         assert_eq!(out.len(), 4);
         assert!(out[0].1.is_ok() && out[1].1.is_ok() && out[3].1.is_ok());
         assert!(out[2].1.as_ref().unwrap_err().contains("boom at 3"));
+    }
+
+    #[test]
+    fn stop_flag_halts_claiming_at_a_job_boundary() {
+        let stop = AtomicBool::new(false);
+        let ran = run_jobs_partial((0..64).collect::<Vec<usize>>(), 1, &stop, |_, &n| {
+            if n == 5 {
+                stop.store(true, Ordering::Relaxed);
+            }
+            n
+        });
+        // Serial worker: exactly jobs 0..=5 ran, in order, nothing lost.
+        assert_eq!(ran.len(), 6);
+        assert!(ran.iter().enumerate().all(|(i, (idx, _, _))| i == *idx));
+    }
+
+    #[test]
+    fn watchdog_trips_only_expired_tokens() {
+        let dog = Watchdog::new();
+        let fast = dog.arm(Duration::from_millis(1));
+        let slow = dog.arm(Duration::from_secs(3600));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !fast.token().load(Ordering::Relaxed) {
+            assert!(Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!slow.token().load(Ordering::Relaxed), "unexpired token tripped");
+        // Disarmed tokens leave the scan list.
+        drop(fast);
+        drop(slow);
+        assert!(dog.inner.active.lock().unwrap().is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@ pub enum JobError {
     /// The simulator returned a typed error.
     Sim {
         /// Stable machine-readable kind (`"watchdog"`, `"fault"`,
-        /// `"deadlock"`, `"bad-program"`, `"config"`).
+        /// `"deadlock"`, `"bad-program"`, `"config"`, `"timeout"`).
         kind: &'static str,
         /// The full human-readable error.
         message: String,
@@ -58,6 +58,10 @@ impl JobError {
             SimError::Deadlock { .. } => "deadlock",
             SimError::BadProgram { .. } => "bad-program",
             SimError::Config { .. } => "config",
+            // Wall-clock cancellation by the pool's per-job watchdog: the
+            // only nondeterministic simulator error, and the one the retry
+            // layer treats as transient.
+            SimError::Cancelled { .. } => "timeout",
         };
         JobError::Sim { kind, message: err.to_string() }
     }
@@ -84,6 +88,22 @@ pub struct JobOutcome {
     /// Whether the application artifact came from the cache. Depends on
     /// scheduling, so it feeds telemetry only — never the result table.
     pub cache_hit: bool,
+    /// Attempts this job took (1 = succeeded or failed typed on the first
+    /// try). Greater than 1 only after transient failures (panic or
+    /// wall-clock timeout) were retried.
+    pub attempts: u32,
+    /// True when the job kept failing transiently until its retry budget
+    /// ran out. Quarantined jobs appear in the `failed_jobs` section of
+    /// the result table and map to a distinct process exit code.
+    pub quarantined: bool,
+}
+
+impl JobOutcome {
+    /// An outcome for a job that ran exactly once — the common case for
+    /// callers constructing outcomes outside the retry layer.
+    pub fn once(spec: JobSpec, result: Result<RunStats, JobError>) -> JobOutcome {
+        JobOutcome { spec, result, attr: None, cache_hit: false, attempts: 1, quarantined: false }
+    }
 }
 
 /// A completed sweep: every job outcome (sorted by job id) plus
@@ -119,6 +139,12 @@ impl SweepOutcome {
     /// Jobs that failed (simulator error, verify mismatch, or panic).
     pub fn failed_count(&self) -> usize {
         self.jobs.len() - self.ok_count()
+    }
+
+    /// Jobs quarantined after exhausting their transient-failure retry
+    /// budget (a subset of [`SweepOutcome::failed_count`]).
+    pub fn quarantined_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.quarantined).count()
     }
 
     /// Simulated cycles summed over successful jobs.
@@ -207,10 +233,30 @@ impl SweepOutcome {
             j.end();
         }
         j.end();
+        // Quarantine only happens under wall-clock watchdogs or injected
+        // panics, which are inherently nondeterministic — so this section
+        // (and the summary key below) appear only when non-empty, keeping
+        // deterministic sweeps byte-identical to the historical format.
+        if self.quarantined_count() > 0 {
+            j.key("failed_jobs").begin_array();
+            for job in self.jobs.iter().filter(|j| j.quarantined) {
+                let err = job.result.as_ref().expect_err("quarantined jobs carry an error");
+                j.begin_object();
+                j.key("id").u64(job.spec.id as u64);
+                j.key("error_kind").string(err.kind());
+                j.key("error").string(err.message());
+                j.key("attempts").u64(u64::from(job.attempts));
+                j.end();
+            }
+            j.end();
+        }
         j.key("summary").begin_object();
         j.key("total").u64(self.jobs.len() as u64);
         j.key("ok").u64(self.ok_count() as u64);
         j.key("failed").u64(self.failed_count() as u64);
+        if self.quarantined_count() > 0 {
+            j.key("quarantined").u64(self.quarantined_count() as u64);
+        }
         j.key("sim_cycles").u64(self.total_sim_cycles());
         j.end();
         j.end();
@@ -342,7 +388,7 @@ mod tests {
             jobs: specs
                 .into_iter()
                 .zip(results)
-                .map(|(spec, result)| JobOutcome { spec, result, attr: None, cache_hit: false })
+                .map(|(spec, result)| JobOutcome::once(spec, result))
                 .collect(),
             workers: 1,
             wall: Duration::from_millis(10),
@@ -404,6 +450,24 @@ mod tests {
         assert!(lines[1].contains(",6,1,2,0,0,1"));
         let json = attributed.results_json();
         assert!(json.contains(r#""attr":{"busy":6,"switch-ovh":1,"mem-stall":2"#));
+    }
+
+    #[test]
+    fn quarantined_jobs_surface_in_failed_jobs_section_only_when_present() {
+        let ok = RunStats { processors: 1, cycles: 10, ..RunStats::default() };
+        let clean = outcome_with(vec![Ok(ok), Ok(ok)]);
+        assert!(!clean.results_json().contains("failed_jobs"));
+        assert!(!clean.results_json().contains("\"quarantined\""));
+
+        let mut out = outcome_with(vec![Ok(ok), Err(JobError::Panic { message: "flaky".into() })]);
+        out.jobs[1].quarantined = true;
+        out.jobs[1].attempts = 3;
+        assert_eq!(out.quarantined_count(), 1);
+        let json = out.results_json();
+        assert!(json.contains(
+            r#""failed_jobs":[{"id":1,"error_kind":"panic","error":"flaky","attempts":3}]"#
+        ));
+        assert!(json.contains(r#""failed":1,"quarantined":1"#));
     }
 
     #[test]

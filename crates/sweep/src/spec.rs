@@ -241,6 +241,35 @@ impl SweepSpec {
         self.len() == 0
     }
 
+    /// A canonical, order-stable rendering of every field that shapes the
+    /// grid or its results. Two specs produce byte-identical result
+    /// tables iff their canonical forms are equal, so the checkpoint
+    /// layer hashes this string to decide whether a resume is legal.
+    pub fn canonical(&self) -> String {
+        fn list<T: std::fmt::Display>(items: &[T]) -> String {
+            items.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+        }
+        format!(
+            "apps={}\nmodels={}\nprocs={}\nthreads={}\nlatencies={}\nseeds={}\n\
+             drop_rates={}\nnets={}\nlink_bw={}\ncombining={}\nattr={}\nscale={}\n\
+             max_cycles={}\nmax_retries={}\n",
+            self.apps.iter().map(|a| a.name()).collect::<Vec<_>>().join(","),
+            self.models.iter().map(|m| m.name()).collect::<Vec<_>>().join(","),
+            list(&self.procs),
+            list(&self.threads),
+            list(&self.latencies),
+            list(&self.seeds),
+            list(&self.drop_rates),
+            self.nets.iter().map(|n| n.name()).collect::<Vec<_>>().join(","),
+            self.link_bw,
+            self.combining,
+            self.attr,
+            self.scale.name(),
+            self.max_cycles,
+            self.max_retries,
+        )
+    }
+
     /// Expands the grid into concrete jobs in deterministic nested-axis
     /// order (app, model, P, T, latency, seed, drop rate, net), assigning
     /// sequential ids. The id — not submission or completion order — keys

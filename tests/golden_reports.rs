@@ -95,8 +95,12 @@ fn sweep_json_and_csv_snapshots() {
     }
     spec.scale = Scale::Tiny;
 
-    let one = run_sweep(&spec, &SweepOpts { workers: Some(1), progress: false }).unwrap();
-    let four = run_sweep(&spec, &SweepOpts { workers: Some(4), progress: false }).unwrap();
+    let one =
+        run_sweep(&spec, &SweepOpts { workers: Some(1), progress: false, ..SweepOpts::default() })
+            .unwrap();
+    let four =
+        run_sweep(&spec, &SweepOpts { workers: Some(4), progress: false, ..SweepOpts::default() })
+            .unwrap();
     assert_eq!(one.results_json(), four.results_json(), "results depend on worker count");
 
     check_golden("sweep.json", &one.results_json());

@@ -5,7 +5,10 @@
 
 use mtsim::apps::{AppKind, Scale};
 use mtsim::core::SwitchModel;
-use mtsim::sweep::{run_job_specs, run_jobs, run_sweep, JobSpec, SweepOpts, SweepSpec};
+use mtsim::sweep::{
+    load_checkpoint, resume_sweep, run_job_specs, run_jobs, run_sweep, ChaosPlan, JobSpec,
+    SweepError, SweepOpts, SweepSpec,
+};
 
 /// A grid that exercises both program variants (grouped and ungrouped),
 /// several cache keys, and the fault-injection path.
@@ -142,4 +145,111 @@ fn failing_grid_point_is_one_failing_row() {
     // The failure shows up as a typed row in both renderings.
     assert!(out.results_json().contains("\"status\":\"error\""));
     assert!(out.results_csv().lines().any(|l| l.contains(",error,")));
+}
+
+fn temp_ckpt(tag: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mtsim-sweep-engine-{}-{tag}.jsonl", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn sweep_builds_each_artifact_exactly_once() {
+    // Satellite contract: artifacts are keyed by what actually shapes
+    // them (app + scale + thread count), so the 32-job grid builds each
+    // of its handful of distinct artifacts once and serves the rest from
+    // cache — regardless of worker count or claim order.
+    let spec = faulty_grid();
+    let out = run_sweep(&spec, &opts(4)).unwrap();
+    assert_eq!(out.jobs.len(), 32);
+
+    // 32 built-app lookups from the jobs themselves + 16 grouped-program
+    // lookups (one per explicit-switch job), each of which consults the
+    // built-app cache again for its base program: 64 lookups total.
+    // Misses are exactly the distinct artifacts: {sieve, sor} x {2, 4
+    // threads} built = 4, and the same four keys again for grouped
+    // programs (neither app is shape-invariant across thread counts, so
+    // content dedup keeps them distinct).
+    let lookups = out.cache_hits + out.cache_misses;
+    assert_eq!(lookups, 64, "unexpected number of cache lookups");
+    assert_eq!(out.cache_misses, 8, "an artifact was built more than once");
+    assert_eq!(out.cache_hits, 56);
+}
+
+#[test]
+fn resume_after_kill_is_byte_identical_to_uninterrupted_run() {
+    let spec = faulty_grid();
+    let reference = run_sweep(&spec, &opts(1)).unwrap();
+    let path = temp_ckpt("resume");
+
+    // Kill the streamed run at a job boundary after 5 completions...
+    let killed = run_sweep(
+        &spec,
+        &SweepOpts {
+            workers: Some(4),
+            stream: Some(path.clone()),
+            chaos: Some(ChaosPlan { panic_once: vec![], kill_after: Some(5) }),
+            ..SweepOpts::default()
+        },
+    );
+    let Err(SweepError::Aborted { completed, .. }) = killed else {
+        panic!("kill_after must abort the sweep, got {killed:?}");
+    };
+    assert!((5..32).contains(&completed), "implausible completion count {completed}");
+
+    // ...then resume from the checkpoint and compare bytes.
+    let resumed = run_sweep_resume(&spec, &path);
+    assert_eq!(resumed.results_json(), reference.results_json());
+    assert_eq!(resumed.results_csv(), reference.results_csv());
+
+    // The finished checkpoint holds every record and loads cleanly.
+    let ckpt = load_checkpoint(&path).unwrap();
+    assert_eq!(ckpt.records.len(), 32);
+    assert!(!ckpt.torn_tail);
+    std::fs::remove_file(&path).ok();
+}
+
+fn run_sweep_resume(spec: &SweepSpec, path: &str) -> mtsim::sweep::SweepOutcome {
+    resume_sweep(spec, &opts(2), path).unwrap()
+}
+
+#[test]
+fn corrupt_checkpoints_are_typed_errors_never_partial_resumes() {
+    let spec = faulty_grid();
+    let path = temp_ckpt("corrupt");
+    run_sweep(&spec, &SweepOpts { stream: Some(path.clone()), ..opts(1) }).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Interior bit flip: a complete line whose checksum no longer
+    // matches is corruption, reported with its line number.
+    let mut flipped = pristine.clone();
+    let second_line = pristine.iter().position(|&b| b == b'\n').unwrap() + 12;
+    flipped[second_line] ^= 0x01;
+    std::fs::write(&path, &flipped).unwrap();
+    match resume_sweep(&spec, &opts(1), &path) {
+        Err(SweepError::Corrupt { line: 2, .. }) => {}
+        other => panic!("bit flip must be Corrupt at line 2, got {other:?}"),
+    }
+
+    // Truncated final record that kept its newline: still a complete
+    // line, still fails its checksum, so corruption — NOT the torn-tail
+    // crash signature (which requires the newline to be missing).
+    let last_nl = pristine.len() - 1;
+    let prev_nl = pristine[..last_nl].iter().rposition(|&b| b == b'\n').unwrap();
+    let mut cut = pristine[..prev_nl + 1 + (last_nl - prev_nl) / 2].to_vec();
+    cut.push(b'\n');
+    std::fs::write(&path, &cut).unwrap();
+    match resume_sweep(&spec, &opts(1), &path) {
+        Err(SweepError::Corrupt { .. }) => {}
+        other => panic!("newline-terminated truncation must be Corrupt, got {other:?}"),
+    }
+
+    // A checkpoint from a different grid is refused outright.
+    std::fs::write(&path, &pristine).unwrap();
+    let other_spec = SweepSpec { seeds: vec![1, 2, 3], ..spec.clone() };
+    match resume_sweep(&other_spec, &opts(1), &path) {
+        Err(SweepError::SpecMismatch { .. }) => {}
+        other => panic!("wrong spec must be SpecMismatch, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
 }
