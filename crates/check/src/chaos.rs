@@ -11,11 +11,14 @@
 //! checkpoint is always a typed [`SweepError`], never a panic or a
 //! silent partial resume.
 
+use std::sync::Arc;
+
 use mtsim_apps::{AppKind, Scale};
 use mtsim_core::SwitchModel;
 use mtsim_rng::Rng;
 use mtsim_sweep::{
-    load_checkpoint, resume_sweep, run_sweep, ChaosPlan, SweepError, SweepOpts, SweepSpec,
+    load_checkpoint, resume_sweep, run_sweep, ArtifactCache, ChaosPlan, SweepError, SweepOpts,
+    SweepSpec,
 };
 
 /// Configuration for a chaos campaign.
@@ -99,15 +102,29 @@ fn temp_ckpt(tag: &str) -> String {
     p.to_string_lossy().into_owned()
 }
 
-fn opts(workers: usize, stream: Option<String>) -> SweepOpts {
-    SweepOpts { workers: Some(workers), stream, ..SweepOpts::default() }
+fn opts(workers: usize, stream: Option<String>, cache: &Arc<ArtifactCache>) -> SweepOpts {
+    SweepOpts {
+        workers: Some(workers),
+        stream,
+        cache: Some(Arc::clone(cache)),
+        ..SweepOpts::default()
+    }
 }
 
 /// Runs a chaos campaign. Deterministic for a fixed config.
+///
+/// Every leg — reference, kill, resume, panic-heal — shares one
+/// campaign-lifetime [`ArtifactCache`], mirroring how `mtsim serve`
+/// threads its cache across jobs: crashes and resumes must neither
+/// corrupt the shared cache nor rebuild artifacts it already holds
+/// (after the reference run warms it, any later leg reporting a cache
+/// miss is a failure).
 pub fn chaos(cfg: ChaosConfig) -> ChaosSummary {
     let spec = chaos_grid();
     let total = spec.len();
-    let reference = run_sweep(&spec, &opts(1, None)).expect("chaos reference grid must be valid");
+    let cache = Arc::new(ArtifactCache::new());
+    let reference =
+        run_sweep(&spec, &opts(1, None, &cache)).expect("chaos reference grid must be valid");
     let ref_json = reference.results_json();
     let ref_csv = reference.results_csv();
 
@@ -117,14 +134,20 @@ pub fn chaos(cfg: ChaosConfig) -> ChaosSummary {
     for trial in 0..cfg.trials {
         let path = temp_ckpt(&format!("t{trial}"));
         let result = if rng.next_u64().is_multiple_of(2) {
-            kill_at_boundary(&spec, &path, cfg.workers, &mut rng)
+            kill_at_boundary(&spec, &path, cfg.workers, &mut rng, &cache)
         } else {
-            kill_mid_append(&spec, &path, cfg.workers, &mut rng)
+            kill_mid_append(&spec, &path, cfg.workers, &mut rng, &cache)
         };
         summary.kills += 1;
         match result {
             Err(msg) => summary.failures.push(format!("trial {trial}: {msg}")),
             Ok(resumed) => {
+                if resumed.cache_misses != 0 {
+                    summary.failures.push(format!(
+                        "trial {trial}: warm campaign cache rebuilt {} artifacts",
+                        resumed.cache_misses
+                    ));
+                }
                 if resumed.results_json() != ref_json {
                     summary
                         .failures
@@ -159,11 +182,9 @@ pub fn chaos(cfg: ChaosConfig) -> ChaosSummary {
             let healed = run_sweep(
                 &spec,
                 &SweepOpts {
-                    workers: Some(cfg.workers),
-                    stream: Some(path.clone()),
                     retries: 2,
                     chaos: Some(plan),
-                    ..SweepOpts::default()
+                    ..opts(cfg.workers, Some(path.clone()), &cache)
                 },
             );
             match healed {
@@ -179,7 +200,7 @@ pub fn chaos(cfg: ChaosConfig) -> ChaosSummary {
         std::fs::remove_file(&path).ok();
     }
 
-    summary.failures.extend(corruption_cases(&spec, &mut summary.corruption_cases));
+    summary.failures.extend(corruption_cases(&spec, &cache, &mut summary.corruption_cases));
     summary
 }
 
@@ -190,16 +211,15 @@ fn kill_at_boundary(
     path: &str,
     workers: usize,
     rng: &mut Rng,
+    cache: &Arc<ArtifactCache>,
 ) -> Result<mtsim_sweep::SweepOutcome, String> {
     let total = spec.len();
     let k = 1 + (rng.next_u64() as usize) % (total - 1);
     let killed = run_sweep(
         spec,
         &SweepOpts {
-            workers: Some(workers),
-            stream: Some(path.to_string()),
             chaos: Some(ChaosPlan { panic_once: vec![], kill_after: Some(k) }),
-            ..SweepOpts::default()
+            ..opts(workers, Some(path.to_string()), cache)
         },
     );
     match killed {
@@ -210,7 +230,7 @@ fn kill_at_boundary(
             ))
         }
     }
-    resume_sweep(spec, &opts(workers, None), path).map_err(|e| format!("resume failed: {e}"))
+    resume_sweep(spec, &opts(workers, None, cache), path).map_err(|e| format!("resume failed: {e}"))
 }
 
 /// Kill mid-append: run the sweep to completion, then truncate the
@@ -221,8 +241,9 @@ fn kill_mid_append(
     path: &str,
     workers: usize,
     rng: &mut Rng,
+    cache: &Arc<ArtifactCache>,
 ) -> Result<mtsim_sweep::SweepOutcome, String> {
-    run_sweep(spec, &opts(workers, Some(path.to_string())))
+    run_sweep(spec, &opts(workers, Some(path.to_string()), cache))
         .map_err(|e| format!("streamed run failed: {e}"))?;
     let bytes = std::fs::read(path).map_err(|e| format!("read checkpoint: {e}"))?;
     let header_end =
@@ -232,16 +253,20 @@ fn kill_mid_append(
     let span = bytes.len() - header_end;
     let cut = header_end + 1 + (rng.next_u64() as usize) % (span - 1);
     std::fs::write(path, &bytes[..cut]).map_err(|e| format!("truncate checkpoint: {e}"))?;
-    resume_sweep(spec, &opts(workers, None), path)
+    resume_sweep(spec, &opts(workers, None, cache), path)
         .map_err(|e| format!("resume after truncation at byte {cut} failed: {e}"))
 }
 
 /// Fixed corruption cases: each must be a typed error, never a panic and
 /// never a silent partial resume. Returns failure messages.
-fn corruption_cases(spec: &SweepSpec, count: &mut usize) -> Vec<String> {
+fn corruption_cases(
+    spec: &SweepSpec,
+    cache: &Arc<ArtifactCache>,
+    count: &mut usize,
+) -> Vec<String> {
     let mut failures = Vec::new();
     let path = temp_ckpt("corruption");
-    if let Err(e) = run_sweep(spec, &opts(1, Some(path.clone()))) {
+    if let Err(e) = run_sweep(spec, &opts(1, Some(path.clone()), cache)) {
         return vec![format!("corruption-case setup sweep failed: {e}")];
     }
     let pristine = std::fs::read(&path).expect("checkpoint just written");
@@ -254,7 +279,7 @@ fn corruption_cases(spec: &SweepSpec, count: &mut usize) -> Vec<String> {
     let target = lines[0] + 10; // inside record line 2
     flipped[target] ^= 0x01;
     std::fs::write(&path, &flipped).unwrap();
-    match resume_sweep(spec, &opts(1, None), &path) {
+    match resume_sweep(spec, &opts(1, None, cache), &path) {
         Err(SweepError::Corrupt { line: 2, .. }) => {}
         other => failures.push(format!(
             "checksum-mismatch line must resume as Corrupt at line 2, got {}",
@@ -272,7 +297,7 @@ fn corruption_cases(spec: &SweepSpec, count: &mut usize) -> Vec<String> {
     let mut cut = pristine[..keep].to_vec();
     cut.push(b'\n');
     std::fs::write(&path, &cut).unwrap();
-    match resume_sweep(spec, &opts(1, None), &path) {
+    match resume_sweep(spec, &opts(1, None, cache), &path) {
         Err(SweepError::Corrupt { .. }) => {}
         other => failures.push(format!(
             "newline-terminated truncated record must be Corrupt, got {}",
@@ -284,7 +309,7 @@ fn corruption_cases(spec: &SweepSpec, count: &mut usize) -> Vec<String> {
     *count += 1;
     std::fs::write(&path, &pristine).unwrap();
     let other_spec = SweepSpec { latencies: vec![50], ..spec.clone() };
-    match resume_sweep(&other_spec, &opts(1, None), &path) {
+    match resume_sweep(&other_spec, &opts(1, None, cache), &path) {
         Err(SweepError::SpecMismatch { .. }) => {}
         other => {
             failures.push(format!("mismatched spec must be SpecMismatch, got {}", describe(&other)))

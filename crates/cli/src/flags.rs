@@ -36,6 +36,42 @@ impl std::error::Error for FlagError {}
 
 const DIST_EXPECTED: &str = "constant, uniform:LO:HI, or geometric:MIN:MEAN";
 
+const JOBS_EXPECTED: &str = "a worker count >= 1";
+const JOBS_ENV_EXPECTED: &str = "a worker count >= 1 (from the MTSIM_JOBS environment variable)";
+
+/// Parses an explicit `--jobs N` value.
+pub fn parse_jobs(value: &str) -> Result<usize, FlagError> {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| FlagError::new("jobs", value, JOBS_EXPECTED))
+}
+
+/// Reads the `MTSIM_JOBS` environment default for `--jobs`. Unset or
+/// blank means "no preference"; anything else must be a valid count —
+/// a typo in the environment used to be silently ignored (the pool fell
+/// back to the core count), which hid misconfigured CI jobs.
+pub fn jobs_from_env() -> Result<Option<usize>, FlagError> {
+    match std::env::var("MTSIM_JOBS") {
+        Err(_) => Ok(None),
+        Ok(v) if v.trim().is_empty() => Ok(None),
+        Ok(v) => match v.trim().parse::<usize>().ok().filter(|&n| n >= 1) {
+            Some(n) => Ok(Some(n)),
+            None => Err(FlagError::new("jobs", &v, JOBS_ENV_EXPECTED)),
+        },
+    }
+}
+
+/// Resolves the worker count: explicit `--jobs` beats `MTSIM_JOBS`;
+/// `None` defers to the pool's core-count default.
+pub fn resolve_jobs(flag: Option<&str>) -> Result<Option<usize>, FlagError> {
+    match flag {
+        Some(v) => parse_jobs(v).map(Some),
+        None => jobs_from_env(),
+    }
+}
+
 /// Parses `constant`, `uniform:LO:HI`, or `geometric:MIN:MEAN`.
 pub fn parse_latency_dist(spec: &str) -> Result<LatencyDist, FlagError> {
     let err = || FlagError::new("latency-dist", spec, DIST_EXPECTED);
@@ -147,5 +183,24 @@ mod tests {
             assert_eq!(e.flag, "link-bw");
             assert!(e.to_string().contains(">= 1"), "{e}");
         }
+    }
+
+    #[test]
+    fn jobs_rejects_zero_and_garbage_with_a_typed_error() {
+        assert_eq!(parse_jobs("4"), Ok(4));
+        for bad in ["0", "-2", "many", "1.5", ""] {
+            let e = parse_jobs(bad).unwrap_err();
+            assert_eq!(e.flag, "jobs");
+            assert!(e.to_string().contains(">= 1"), "{e}");
+        }
+    }
+
+    #[test]
+    fn explicit_jobs_beats_the_environment() {
+        // resolve_jobs must not consult MTSIM_JOBS when a flag is given,
+        // so a bogus env value is irrelevant here (and this test cannot
+        // set the variable: the test harness is multi-threaded).
+        assert_eq!(resolve_jobs(Some("3")), Ok(Some(3)));
+        assert!(resolve_jobs(Some("zero")).is_err());
     }
 }

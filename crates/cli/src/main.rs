@@ -24,6 +24,8 @@
 //!             [--resume FILE.jsonl] [--job-timeout SECS] [--retries N]
 //! mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N]
 //!             [--chaos N]
+//! mtsim serve [--addr A] [--port N] [--jobs N] [--state-dir DIR]
+//!             [--queue-cap N] [--cache-cap N]
 //! ```
 //!
 //! `profile` runs one application with the full observability recorder
@@ -65,6 +67,15 @@
 //! bits/cycle per link (default 16); `--combining` merges concurrent
 //! fetch-and-adds to one address inside the switches.
 //!
+//! `serve` starts the persistent simulation service (`mtsim-serve`,
+//! DESIGN.md §19): a JSON-over-HTTP job queue on the sweep engine with
+//! a shared artifact cache and crash-safe restart-resume. `--port 0`
+//! binds an ephemeral port; the bound address is printed on stdout.
+//! Worker counts for `sweep`, `check`, and `serve` come from `--jobs`
+//! or, when absent, the `MTSIM_JOBS` environment variable; an invalid
+//! value in either place is a usage error (exit 2), never a silent
+//! fallback.
+//!
 //! Exit codes: `0` success, `1` the simulation failed (fault exhaustion,
 //! deadlock, watchdog, bad program, wrong results), `2` usage,
 //! configuration, or checkpoint-corruption error, `3` sweep completed
@@ -101,7 +112,7 @@ const EXIT_ABORTED: i32 = 4;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n             [--net constant|crossbar|mesh|butterfly] [--link-bw N] [--combining]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault/net flags]\n  mtsim profile <app> [--model M] [-p N] [-t N] [--scale S] [--latency N]\n              [--out trace.json] [--ring N] [--attr] [fault/net flags]\n  mtsim sweep [--spec FILE] [--apps LIST|all] [--models LIST|all] [--p LIST]\n              [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]\n              [--net LIST|all] [--link-bw N] [--combining] [--attr]\n              [--scale S] [--max-cycles N] [--max-retries N]\n              [--jobs N] [--out FILE.json] [--csv FILE.csv] [--quiet]\n              [--resume FILE.jsonl] [--job-timeout SECS] [--retries N]\n  mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N] [--chaos N]\n\napps: {}\nmodels: {}",
+        "usage:\n  mtsim run <app> [--model M] [-p N] [-t N] [--scale tiny|small|full]\n             [--latency N] [--max-run N|off] [--priority] [--estimate] [--stats]\n             [--seed N] [--fault-drop R] [--fault-delay R] [--fault-dup R]\n             [--latency-dist constant|uniform:LO:HI|geometric:MIN:MEAN]\n             [--max-retries N] [--max-cycles N]\n             [--net constant|crossbar|mesh|butterfly] [--link-bw N] [--combining]\n  mtsim list\n  mtsim models\n  mtsim disasm <app> [--grouped] [--scale S]\n  mtsim compile <file.mtc> [-t N] [--grouped]\n  mtsim run-file <file.mtc> [--model M] [-p N] [-t N] [--stats] [fault/net flags]\n  mtsim profile <app> [--model M] [-p N] [-t N] [--scale S] [--latency N]\n              [--out trace.json] [--ring N] [--attr] [fault/net flags]\n  mtsim sweep [--spec FILE] [--apps LIST|all] [--models LIST|all] [--p LIST]\n              [--t LIST] [--latency LIST] [--seeds LIST] [--drop LIST]\n              [--net LIST|all] [--link-bw N] [--combining] [--attr]\n              [--scale S] [--max-cycles N] [--max-retries N]\n              [--jobs N] [--out FILE.json] [--csv FILE.csv] [--quiet]\n              [--resume FILE.jsonl] [--job-timeout SECS] [--retries N]\n  mtsim check [--fuzz N] [--seed S] [--jobs N] [--shrink-budget N] [--chaos N]\n  mtsim serve [--addr A] [--port N] [--jobs N] [--state-dir DIR]\n              [--queue-cap N] [--cache-cap N]\n\napps: {}\nmodels: {}",
         AppKind::ALL.map(|a| a.name()).join(", "),
         SwitchModel::ALL.map(|m| m.name()).join(", ")
     );
@@ -293,7 +304,50 @@ fn main() {
         Some("check") => {
             cmd_check(&Args::parse(&["fuzz", "seed", "jobs", "shrink-budget", "chaos"], &[]))
         }
+        Some("serve") => cmd_serve(&Args::parse(
+            &["addr", "port", "jobs", "state-dir", "queue-cap", "cache-cap"],
+            &[],
+        )),
         _ => usage(),
+    }
+}
+
+fn cmd_serve(args: &Args) {
+    let port: u16 = args.get("port").map(|v| parse_num("port", v)).unwrap_or(8117);
+    let addr = format!("{}:{port}", args.get("addr").unwrap_or("127.0.0.1"));
+    let workers = flag_or_die(flags::resolve_jobs(args.get("jobs")));
+    let queue_cap: usize = args.get("queue-cap").map(|v| parse_num("queue-cap", v)).unwrap_or(64);
+    if queue_cap == 0 {
+        bad_usage("--queue-cap must be >= 1");
+    }
+    let cache_cap: usize = args.get("cache-cap").map(|v| parse_num("cache-cap", v)).unwrap_or(128);
+    let cfg = mtsim_serve::ServeConfig {
+        addr,
+        workers,
+        state_dir: args.get("state-dir").unwrap_or("mtsim-serve-state").to_string(),
+        queue_cap,
+        cache_cap,
+    };
+    let server = mtsim_serve::Server::bind(cfg).unwrap_or_else(|e| {
+        eprintln!("error: cannot start server: {e}");
+        std::process::exit(EXIT_RUN_FAILED);
+    });
+    // The authoritative address line (stdout, flushed): with --port 0
+    // the kernel picks the port, and scripts parse it from here.
+    match server.local_addr() {
+        Ok(local) => {
+            use std::io::Write;
+            println!("mtsim-serve listening on {local}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("error: cannot read bound address: {e}");
+            std::process::exit(EXIT_RUN_FAILED);
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("error: {e}");
+        std::process::exit(EXIT_RUN_FAILED);
     }
 }
 
@@ -316,11 +370,8 @@ fn cmd_check(args: &Args) {
         if let Some(v) = args.get("seed") {
             cfg.seed = parse_seed("seed", v);
         }
-        if let Some(v) = args.get("jobs") {
-            cfg.workers = parse_num("jobs", v);
-            if cfg.workers == 0 {
-                bad_usage("--jobs must be >= 1");
-            }
+        if let Some(n) = flag_or_die(flags::resolve_jobs(args.get("jobs"))) {
+            cfg.workers = n;
         }
         let summary = mtsim_check::chaos(cfg);
         print!("{}", summary.report());
@@ -336,11 +387,8 @@ fn cmd_check(args: &Args) {
     if let Some(v) = args.get("seed") {
         cfg.seed = parse_seed("seed", v);
     }
-    if let Some(v) = args.get("jobs") {
-        cfg.jobs = parse_num("jobs", v);
-        if cfg.jobs == 0 {
-            bad_usage("--jobs must be >= 1");
-        }
+    if let Some(n) = flag_or_die(flags::resolve_jobs(args.get("jobs"))) {
+        cfg.jobs = n;
     }
     if let Some(v) = args.get("shrink-budget") {
         cfg.shrink_budget = parse_num("shrink-budget", v);
@@ -400,13 +448,7 @@ fn cmd_sweep(args: &Args) {
         spec.scale = parse_scale(s);
     }
 
-    let workers = args.get("jobs").map(|v| {
-        let n: usize = parse_num("jobs", v);
-        if n == 0 {
-            bad_usage("--jobs must be >= 1");
-        }
-        n
-    });
+    let workers = flag_or_die(flags::resolve_jobs(args.get("jobs")));
     let quiet = args.has("quiet");
     let job_timeout = args.get("job-timeout").map(|v| {
         let secs: f64 = parse_num("job-timeout", v);
@@ -429,7 +471,7 @@ fn cmd_sweep(args: &Args) {
         stream,
         job_timeout,
         retries,
-        chaos: None,
+        ..SweepOpts::default()
     };
 
     let run = match resume {

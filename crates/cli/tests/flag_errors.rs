@@ -62,6 +62,81 @@ fn net_flags_error_identically_under_run_file_and_sweep() {
 }
 
 #[test]
+fn zero_or_garbage_jobs_is_a_usage_error_everywhere() {
+    assert_usage_error(
+        &["sweep", "--apps", "sieve", "--jobs", "0"],
+        &["bad value '0' for --jobs", ">= 1"],
+    );
+    assert_usage_error(
+        &["check", "--fuzz", "1", "--jobs", "lots"],
+        &["bad value 'lots' for --jobs"],
+    );
+    assert_usage_error(&["serve", "--port", "0", "--jobs", "-3"], &["bad value '-3' for --jobs"]);
+}
+
+#[test]
+fn invalid_mtsim_jobs_env_is_a_usage_error_not_a_silent_fallback() {
+    for bad in ["abc", "0"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_mtsim"))
+            .args(["sweep", "--apps", "sieve", "--scale", "tiny"])
+            .env("MTSIM_JOBS", bad)
+            .output()
+            .expect("spawn mtsim");
+        assert_eq!(out.status.code(), Some(2), "MTSIM_JOBS={bad} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(&format!("bad value '{bad}' for --jobs")), "{stderr}");
+        assert!(stderr.contains("MTSIM_JOBS"), "must name the env source:\n{stderr}");
+    }
+}
+
+#[test]
+fn explicit_jobs_overrides_a_bad_environment_and_valid_env_works() {
+    // A valid env value is honored; a tiny sweep completes under it.
+    let out = Command::new(env!("CARGO_BIN_EXE_mtsim"))
+        .args([
+            "sweep",
+            "--apps",
+            "sieve",
+            "--models",
+            "switch-on-load",
+            "--p",
+            "2",
+            "--t",
+            "1",
+            "--scale",
+            "tiny",
+            "--quiet",
+        ])
+        .env("MTSIM_JOBS", "2")
+        .output()
+        .expect("spawn mtsim");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // An explicit flag wins before the env is even consulted.
+    let out = Command::new(env!("CARGO_BIN_EXE_mtsim"))
+        .args([
+            "sweep",
+            "--apps",
+            "sieve",
+            "--models",
+            "switch-on-load",
+            "--p",
+            "2",
+            "--t",
+            "1",
+            "--scale",
+            "tiny",
+            "--quiet",
+            "--jobs",
+            "1",
+        ])
+        .env("MTSIM_JOBS", "garbage")
+        .output()
+        .expect("spawn mtsim");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
 fn well_formed_net_flags_run_and_report_stats() {
     let out = mtsim(&[
         "run",

@@ -124,6 +124,48 @@ pub struct ThreadImage {
     pub local: Vec<u64>,
 }
 
+/// A completed run without the per-thread architectural images: the
+/// variant [`Machine::run_reusing`] returns when the caller only needs
+/// statistics plus the final shared memory (e.g. for result
+/// verification) and wants the thread buffers recycled instead of
+/// imaged.
+#[derive(Debug)]
+pub struct LeanRun {
+    /// Simulation statistics.
+    pub result: RunResult,
+    /// Shared memory at completion.
+    pub shared: SharedMemory,
+}
+
+/// Recyclable machine buffers: the per-thread state (dominated by each
+/// thread's local memory vector) and the program image from a finished
+/// run, keyed by a caller-chosen artifact identity. A worker thread that
+/// runs many same-shaped grid points keeps one of these; consecutive
+/// [`Machine::try_new_reusing`] / [`Machine::run_reusing`] pairs with a
+/// stable key then allocate no thread state and clone no program.
+///
+/// The scratch holds at most one parked machine — sweeps iterate grids
+/// in axis order, so consecutive jobs on a worker overwhelmingly share
+/// a shape and a deeper cache would mostly hold dead buffers.
+#[derive(Debug, Default)]
+pub struct MachineScratch {
+    key: u64,
+    threads: Vec<Thread>,
+    program: Option<Program>,
+}
+
+impl MachineScratch {
+    /// An empty scratch: the first build through it allocates fresh.
+    pub fn new() -> MachineScratch {
+        MachineScratch::default()
+    }
+
+    /// The key of the currently parked buffers (0 = empty).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
 impl Machine {
     /// Builds a machine running `program` on every thread over `shared`.
     ///
@@ -151,12 +193,55 @@ impl Machine {
         program: &Program,
         shared: SharedMemory,
     ) -> Result<Machine, SimError> {
+        let mut scratch = MachineScratch::new();
+        Machine::try_new_reusing(config, program, shared, 0, &mut scratch).map(|(m, _)| m)
+    }
+
+    /// Builds a machine like [`Machine::try_new`], but recycling the
+    /// allocation-heavy buffers (per-thread local memories, the program
+    /// image) parked in `scratch` by a previous [`Machine::run_reusing`]
+    /// call when the caller-chosen `key` matches. Returns the machine and
+    /// whether buffers were actually reused.
+    ///
+    /// The key contract: **equal non-zero keys imply an identical
+    /// program.** Shape (thread count, local words) is re-derived from
+    /// `config`/`program` either way, so a colliding key with a
+    /// different shape costs allocations, never correctness — but a
+    /// colliding key with a *different program* would silently run the
+    /// wrong code. Key 0 never reuses (and never stashes a reusable
+    /// program identity), which is how [`Machine::try_new`] gets the
+    /// allocate-fresh behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when
+    /// [`MachineConfig::try_validate`] fails.
+    pub fn try_new_reusing(
+        config: MachineConfig,
+        program: &Program,
+        shared: SharedMemory,
+        key: u64,
+        scratch: &mut MachineScratch,
+    ) -> Result<(Machine, bool), SimError> {
         config.try_validate().map_err(|detail| SimError::Config { detail })?;
         let nthreads = config.total_threads();
         let local_words = config.local_mem_words.max(program.local_words());
-        let threads: Vec<Thread> = (0..nthreads)
-            .map(|tid| Thread::new(tid as i64, nthreads as i64, local_words))
-            .collect();
+        let reused = key != 0 && scratch.key == key && scratch.program.is_some();
+        let (program, mut threads) = if reused {
+            (scratch.program.take().expect("key match implies a stashed program"), {
+                scratch.key = 0;
+                std::mem::take(&mut scratch.threads)
+            })
+        } else {
+            (program.clone(), Vec::new())
+        };
+        threads.truncate(nthreads);
+        for (tid, t) in threads.iter_mut().enumerate() {
+            t.reset(tid as i64, nthreads as i64, local_words);
+        }
+        for tid in threads.len()..nthreads {
+            threads.push(Thread::new(tid as i64, nthreads as i64, local_words));
+        }
         let procs = (0..config.processors)
             .map(|p| Proc {
                 queue: (p * config.threads_per_proc..(p + 1) * config.threads_per_proc).collect(),
@@ -173,9 +258,9 @@ impl Machine {
             .net
             .is_active()
             .then(|| Network::new(config.net, config.processors, config.latency));
-        Ok(Machine {
+        let machine = Machine {
             config,
-            program: program.clone(),
+            program,
             shared,
             threads,
             procs,
@@ -187,7 +272,8 @@ impl Machine {
             fault,
             net,
             cancel: None,
-        })
+        };
+        Ok((machine, reused))
     }
 
     /// Attaches an external cancel token. A supervisor thread (e.g. the
@@ -239,7 +325,53 @@ impl Machine {
     /// # Errors
     ///
     /// Exactly as [`Machine::run`].
-    pub fn run_with<R: Recorder>(mut self, rec: &mut R) -> Result<FinishedRun, SimError> {
+    pub fn run_with<R: Recorder>(self, rec: &mut R) -> Result<FinishedRun, SimError> {
+        let (result, shared, threads, _) = self.run_to_completion(rec)?;
+        let threads = threads
+            .into_iter()
+            .map(|t| ThreadImage { regs: t.regs, fregs: t.fregs.map(f64::to_bits), local: t.local })
+            .collect();
+        Ok(FinishedRun { result, shared, threads })
+    }
+
+    /// Runs to completion like [`Machine::run_with`], then parks the
+    /// machine's reusable buffers in `scratch` under `key` so the next
+    /// [`Machine::try_new_reusing`] call with the same key skips the
+    /// per-thread allocations and the program clone. Returns a
+    /// [`LeanRun`] — statistics plus final shared memory, without the
+    /// per-thread architectural images (their buffers are what gets
+    /// recycled). Orchestration layers that only verify shared memory
+    /// use this; `mtsim-check`'s state comparisons need
+    /// [`Machine::run_with`].
+    ///
+    /// On error nothing is stashed: the failed machine's buffers are
+    /// simply dropped, and `scratch` keeps whatever it held before.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Machine::run`].
+    pub fn run_reusing<R: Recorder>(
+        self,
+        rec: &mut R,
+        key: u64,
+        scratch: &mut MachineScratch,
+    ) -> Result<LeanRun, SimError> {
+        let (result, shared, threads, program) = self.run_to_completion(rec)?;
+        if key != 0 {
+            scratch.key = key;
+            scratch.threads = threads;
+            scratch.program = Some(program);
+        }
+        Ok(LeanRun { result, shared })
+    }
+
+    /// The shared run loop: drives every processor to completion and
+    /// hands the result back along with the moved-out buffers, so the
+    /// public variants decide whether to image or recycle the threads.
+    fn run_to_completion<R: Recorder>(
+        mut self,
+        rec: &mut R,
+    ) -> Result<(RunResult, SharedMemory, Vec<Thread>, Program), SimError> {
         let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
         let mut seq: u64 = 0;
         for p in 0..self.procs.len() {
@@ -297,12 +429,7 @@ impl Machine {
             trace: self.trace,
             net: self.net.as_ref().map(|n| n.stats()),
         };
-        let threads = self
-            .threads
-            .into_iter()
-            .map(|t| ThreadImage { regs: t.regs, fregs: t.fregs.map(f64::to_bits), local: t.local })
-            .collect();
-        Ok(FinishedRun { result, shared: self.shared, threads })
+        Ok((result, self.shared, self.threads, self.program))
     }
 
     /// Executes processor `p` from its current time until it must hand

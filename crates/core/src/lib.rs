@@ -46,7 +46,7 @@ mod model;
 mod stats;
 mod thread;
 
-pub use engine::{FinishedRun, Machine, ThreadImage};
+pub use engine::{FinishedRun, LeanRun, Machine, MachineScratch, ThreadImage};
 pub use model::{MachineConfig, SwitchModel};
 pub use stats::{DeadlockWaiter, ProcStats, RunLengthHist, RunResult, RunStats, SimError};
 
@@ -76,6 +76,8 @@ mod send_audit {
         assert_send::<Machine>();
         assert_send::<MachineConfig>();
         assert_send::<FinishedRun>();
+        assert_send::<LeanRun>();
+        assert_send::<MachineScratch>();
         assert_send::<RunResult>();
         assert_send::<RunStats>();
         assert_send::<SimError>();

@@ -128,6 +128,23 @@ impl Thread {
         }
     }
 
+    /// Re-initializes this thread to exactly the state [`Thread::new`]
+    /// creates, but reusing its heap buffers (local memory, scoreboard)
+    /// in place. Everything else is rebuilt through the constructor, so
+    /// there is no second list of fields to keep in sync — a reset
+    /// thread is bit-identical to a fresh one by construction.
+    pub fn reset(&mut self, tid: i64, nthreads: i64, local_words: u64) {
+        let mut local = std::mem::take(&mut self.local);
+        let mut pending = std::mem::take(&mut self.pending);
+        local.clear();
+        local.resize(local_words as usize, 0);
+        pending.clear();
+        // `Thread::new` with zero local words performs no allocation.
+        *self = Thread::new(tid, nthreads, 0);
+        self.local = local;
+        self.pending = pending;
+    }
+
     /// Reads an integer register (`r0` reads as zero).
     #[inline]
     pub fn rget(&self, r: Reg) -> i64 {
@@ -347,6 +364,32 @@ mod tests {
         t.rset(Reg::new(5), -10);
         assert_eq!(t.try_ea(Reg::new(5), 4), None);
         assert_eq!(t.try_ea(Reg::new(5), 10), Some(0));
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_thread_and_reuses_buffers() {
+        let mut t = Thread::new(1, 4, 8);
+        // Dirty every category of state a run can touch.
+        t.rset(Reg::new(5), 42);
+        t.fset(FReg::new(2), 3.5);
+        t.try_local_write(3, 9).unwrap();
+        t.pc = 17;
+        t.halted = true;
+        t.wake = 100;
+        t.run_cycles = 9;
+        t.pending.push(PendingReg { fp: false, idx: 8, ready: 100 });
+        for i in 0..6 {
+            t.note_spin_poll(7, 0, 100 * (i + 1), false);
+        }
+        let buf = t.local.as_ptr();
+        t.reset(2, 6, 8);
+        // The Debug rendering covers every field, so equal renderings
+        // mean a reset thread is indistinguishable from a fresh one.
+        assert_eq!(format!("{t:?}"), format!("{:?}", Thread::new(2, 6, 8)));
+        assert_eq!(t.local.as_ptr(), buf, "local memory must be reused, not reallocated");
+        // A shape change (more local words) still works.
+        t.reset(0, 1, 16);
+        assert_eq!(format!("{t:?}"), format!("{:?}", Thread::new(0, 1, 16)));
     }
 
     #[test]

@@ -27,6 +27,40 @@ fn load_compute_kernel(iters: i64, work: usize) -> Program {
 }
 
 #[test]
+fn scratch_reuse_is_bit_identical_to_fresh_machines() {
+    use mtsim_core::{MachineScratch, NoopRecorder};
+    let prog = load_compute_kernel(40, 3);
+    let cfg = || MachineConfig::new(SwitchModel::SwitchOnLoad, 2, 2);
+    let fresh = Machine::new(cfg(), &prog, SharedMemory::new(128)).run().expect("fresh");
+
+    let mut scratch = MachineScratch::new();
+    for round in 0..3 {
+        let (m, reused) =
+            Machine::try_new_reusing(cfg(), &prog, SharedMemory::new(128), 7, &mut scratch)
+                .expect("build");
+        assert_eq!(reused, round > 0, "every build after the first must reuse");
+        let lean = m.run_reusing(&mut NoopRecorder, 7, &mut scratch).expect("run");
+        assert_eq!(format!("{:?}", lean.result), format!("{:?}", fresh.result));
+        assert_eq!(format!("{:?}", lean.shared), format!("{:?}", fresh.shared));
+    }
+
+    // A different key never reuses; the same key across a *shape* change
+    // (fewer threads, same program) reuses and stays correct.
+    let cfg1 = || MachineConfig::new(SwitchModel::SwitchOnLoad, 2, 1);
+    let fresh1 = Machine::new(cfg1(), &prog, SharedMemory::new(128)).run().expect("fresh1");
+    let (m, reused) =
+        Machine::try_new_reusing(cfg1(), &prog, SharedMemory::new(128), 7, &mut scratch)
+            .expect("build");
+    assert!(reused, "same key, new shape: buffers still reusable");
+    let lean = m.run_reusing(&mut NoopRecorder, 7, &mut scratch).expect("run");
+    assert_eq!(format!("{:?}", lean.result), format!("{:?}", fresh1.result));
+    let (_, reused) =
+        Machine::try_new_reusing(cfg1(), &prog, SharedMemory::new(128), 8, &mut scratch)
+            .expect("build");
+    assert!(!reused, "a different key must not reuse");
+}
+
+#[test]
 fn ideal_model_has_full_utilization_single_thread() {
     let prog = load_compute_kernel(50, 4);
     let r = run(MachineConfig::ideal(1), &prog, 128);

@@ -28,6 +28,7 @@ pub use attr::{AttrSummary, AttrTable, Cat};
 pub use event::{Event, EventKind, EventRing, SwitchCause};
 pub use hist::StreamHist;
 pub use json::JsonBuilder;
+pub use trace_export::{spans_to_chrome_trace, TraceSpan};
 
 /// Which streaming histogram a sample feeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -90,6 +90,75 @@ pub fn chrome_trace(ring: &EventRing) -> String {
     j.finish()
 }
 
+/// A caller-supplied interval for [`spans_to_chrome_trace`]: a named
+/// slice on a named track. Units are whatever the caller's clock is —
+/// the `ts` field is nominally microseconds, so plain counters (cycles,
+/// sequence numbers) read naturally in the Perfetto timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    pub name: String,
+    /// Track (rendered as a thread row); tracks appear in first-use order.
+    pub track: String,
+    pub start: u64,
+    pub dur: u64,
+}
+
+/// Renders arbitrary spans as a Chrome trace-event JSON object — the
+/// same envelope [`chrome_trace`] emits, for data that never went
+/// through an [`EventRing`] (e.g. `mtsim serve` rendering a sweep's
+/// checkpoint as a job timeline). Everything lands in one process;
+/// each distinct track becomes a named thread row.
+pub fn spans_to_chrome_trace(title: &str, spans: &[TraceSpan]) -> String {
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.key("traceEvents").begin_array();
+
+    j.begin_object();
+    j.key("name").string("process_name");
+    j.key("ph").string("M");
+    j.key("pid").u64(0);
+    j.key("args").begin_object().key("name").string(title).end();
+    j.end();
+
+    // Tracks get dense tids in order of first appearance.
+    let mut tracks: Vec<&str> = Vec::new();
+    for s in spans {
+        if !tracks.contains(&s.track.as_str()) {
+            tracks.push(&s.track);
+        }
+    }
+    for (tid, track) in tracks.iter().enumerate() {
+        j.begin_object();
+        j.key("name").string("thread_name");
+        j.key("ph").string("M");
+        j.key("pid").u64(0);
+        j.key("tid").u64(tid as u64);
+        j.key("args").begin_object().key("name").string(track).end();
+        j.end();
+    }
+
+    for s in spans {
+        let tid = tracks.iter().position(|t| *t == s.track).expect("track registered above");
+        j.begin_object();
+        j.key("name").string(&s.name);
+        j.key("cat").string("span");
+        j.key("ph").string("X");
+        j.key("ts").u64(s.start);
+        j.key("dur").u64(s.dur);
+        j.key("pid").u64(0);
+        j.key("tid").u64(tid as u64);
+        j.end();
+    }
+
+    j.end(); // traceEvents
+    j.key("displayTimeUnit").string("ms");
+    j.key("otherData").begin_object();
+    j.key("tool").string("mtsim-obs");
+    j.end();
+    j.end();
+    j.finish()
+}
+
 /// One complete ("X") slice: a thread's residency on its processor.
 fn slice(j: &mut JsonBuilder, proc: u32, thread: u32, since: u64, until: u64, cause: &str) {
     j.begin_object();
@@ -203,5 +272,39 @@ mod tests {
         push(&mut r, 3, 0, 0, EventKind::SwitchIn);
         let json = chrome_trace(&r);
         assert!(!json.contains(r#""ph":"X""#), "no slice without a switch-out: {json}");
+    }
+
+    #[test]
+    fn spans_render_as_slices_on_first_use_ordered_tracks() {
+        let span = |name: &str, track: &str, start, dur| TraceSpan {
+            name: name.into(),
+            track: track.into(),
+            start,
+            dur,
+        };
+        let json = spans_to_chrome_trace(
+            "sweep 3",
+            &[
+                span("job 0", "ok", 0, 10),
+                span("job 1", "failed", 10, 2),
+                span("job 2", "ok", 12, 5),
+            ],
+        );
+        assert!(json.starts_with(r#"{"traceEvents":["#));
+        assert!(json.contains(r#""name":"sweep 3""#));
+        // "ok" appeared first → tid 0; "failed" → tid 1.
+        assert!(json.contains(r#""args":{"name":"ok"}"#));
+        assert!(
+            json.contains(
+                r#""name":"job 1","cat":"span","ph":"X","ts":10,"dur":2,"pid":0,"tid":1"#
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                r#""name":"job 2","cat":"span","ph":"X","ts":12,"dur":5,"pid":0,"tid":0"#
+            ),
+            "{json}"
+        );
     }
 }

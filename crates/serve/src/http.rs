@@ -1,0 +1,356 @@
+//! Minimal HTTP/1.1 machinery: an incremental request parser and a
+//! response writer.
+//!
+//! The parser is push-based — callers feed it whatever bytes the socket
+//! produced and ask for complete requests — which makes every framing
+//! edge case (torn reads mid-header, pipelined requests, oversized
+//! bodies) testable without opening a socket. It understands exactly the
+//! subset the service speaks: `GET`/`POST`, `Content-Length` bodies, no
+//! chunked transfer coding, no continuation lines. Anything outside that
+//! subset is a typed [`HttpError`] that maps onto a 4xx status, never a
+//! panic or a silent truncation.
+
+use std::collections::VecDeque;
+
+/// Maximum accepted request head (request line + headers), in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request. The target is split at `?`; the query survives as
+/// raw `k=v` pairs (the API uses only small integers and hex hashes, so
+/// percent-decoding is deliberately out of scope).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub query: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A framing error. Each variant carries the status the connection
+/// handler must answer with before closing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or length field → 400.
+    BadRequest(String),
+    /// Declared body (or accumulated head) beyond the cap → 413.
+    TooLarge(String),
+}
+
+impl HttpError {
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::TooLarge(_) => 413,
+        }
+    }
+
+    pub fn message(&self) -> &str {
+        match self {
+            HttpError::BadRequest(m) | HttpError::TooLarge(m) => m,
+        }
+    }
+}
+
+/// Incremental HTTP/1.1 request parser.
+///
+/// Feed raw bytes with [`RequestParser::push`], then drain complete
+/// requests with [`RequestParser::next_request`]. Bytes beyond one
+/// request stay buffered, so pipelined requests come out one by one.
+/// Errors are sticky: a connection that produced garbage cannot be
+/// resynchronized and must be closed after the error response.
+pub struct RequestParser {
+    buf: VecDeque<u8>,
+    max_body: usize,
+    /// Head of the request currently being assembled, once parsed.
+    pending: Option<(Request, usize)>,
+    poisoned: bool,
+}
+
+impl RequestParser {
+    pub fn new(max_body: usize) -> RequestParser {
+        RequestParser { buf: VecDeque::new(), max_body, pending: None, poisoned: false }
+    }
+
+    /// Appends bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Bytes currently buffered but not yet consumed by a request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns the next complete request, `Ok(None)` when more bytes are
+    /// needed, or a sticky framing error.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.poisoned {
+            return Err(HttpError::BadRequest("connection already failed".into()));
+        }
+        match self.advance() {
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+            ok => ok,
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.pending.is_none() {
+            let Some(head_len) = self.find_head_end()? else {
+                return Ok(None);
+            };
+            let head: Vec<u8> = self.buf.drain(..head_len).collect();
+            // Drop the blank line terminating the head.
+            self.buf.drain(..4.min(self.buf.len()));
+            let head = std::str::from_utf8(&head)
+                .map_err(|_| HttpError::BadRequest("head is not valid utf-8".into()))?;
+            self.pending = Some(parse_head(head, self.max_body)?);
+        }
+        let (_, body_len) = self.pending.as_ref().expect("pending head set above");
+        if self.buf.len() < *body_len {
+            return Ok(None);
+        }
+        let (mut request, body_len) = self.pending.take().expect("pending head set above");
+        request.body = self.buf.drain(..body_len).collect();
+        Ok(Some(request))
+    }
+
+    /// Byte length of the head if its `\r\n\r\n` terminator has arrived.
+    fn find_head_end(&self) -> Result<Option<usize>, HttpError> {
+        let (a, b) = self.buf.as_slices();
+        let mut window = [0u8; 4];
+        let len = self.buf.len();
+        for end in 4..=len {
+            for (i, slot) in window.iter_mut().enumerate() {
+                let idx = end - 4 + i;
+                *slot = if idx < a.len() { a[idx] } else { b[idx - a.len()] };
+            }
+            if window == *b"\r\n\r\n" {
+                return Ok(Some(end - 4));
+            }
+        }
+        if len > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        Ok(None)
+    }
+}
+
+/// Parses a request head into a body-less [`Request`] plus the declared
+/// body length.
+fn parse_head(head: &str, max_body: usize) -> Result<(Request, usize), HttpError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequest(format!("malformed request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("unsupported version {version:?}")));
+    }
+
+    let mut body_len = 0usize;
+    let mut saw_length = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header line {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad content-length {value:?}")))?;
+                if saw_length && parsed != body_len {
+                    return Err(HttpError::BadRequest("conflicting content-length".into()));
+                }
+                saw_length = true;
+                body_len = parsed;
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::BadRequest("chunked bodies are not supported".into()));
+            }
+            _ => {}
+        }
+    }
+    // Reject an oversized body at the declaration, before buffering it.
+    if body_len > max_body {
+        return Err(HttpError::TooLarge(format!("body of {body_len} bytes exceeds {max_body}")));
+    }
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    let request =
+        Request { method: method.to_string(), path: path.to_string(), query, body: Vec::new() };
+    Ok((request, body_len))
+}
+
+/// Serializes an HTTP/1.1 response with a `Content-Length` body.
+pub fn response(status: u16, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    };
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// A JSON error body `{"error": message}` with the given status.
+pub fn error_response(status: u16, message: &str) -> Vec<u8> {
+    let mut j = mtsim_obs::JsonBuilder::new();
+    j.begin_object().key("error").string(message).end();
+    response(status, "application/json", j.finish().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Vec<Request>, HttpError> {
+        let mut p = RequestParser::new(1024);
+        p.push(bytes);
+        let mut out = Vec::new();
+        while let Some(r) = p.next_request()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn a_simple_get_parses() {
+        let reqs = parse_all(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].method, "GET");
+        assert_eq!(reqs[0].path, "/v1/healthz");
+        assert!(reqs[0].body.is_empty());
+    }
+
+    #[test]
+    fn torn_reads_reassemble_across_arbitrary_split_points() {
+        let raw = b"POST /v1/sweeps?priority=7 HTTP/1.1\r\ncontent-length: 11\r\n\r\nhello world";
+        for split in 0..raw.len() {
+            let mut p = RequestParser::new(1024);
+            p.push(&raw[..split]);
+            // A partial request is never an error, just "not yet".
+            let early = p.next_request().unwrap_or_else(|e| {
+                panic!("split at {split} produced error {e:?}");
+            });
+            if let Some(r) = early {
+                assert_eq!(split, raw.len(), "complete request before all bytes arrived");
+                assert_eq!(r.body, b"hello world");
+            }
+            p.push(&raw[split..]);
+            let r = p.next_request().unwrap().expect("request must complete");
+            assert_eq!(r.method, "POST");
+            assert_eq!(r.path, "/v1/sweeps");
+            assert_eq!(r.query_get("priority"), Some("7"));
+            assert_eq!(r.body, b"hello world");
+            assert_eq!(p.next_request().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let reqs = parse_all(
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].path, "/a");
+        assert_eq!(reqs[1].path, "/b");
+        assert_eq!(reqs[1].body, b"hi");
+        assert_eq!(reqs[2].path, "/c");
+    }
+
+    #[test]
+    fn declared_oversize_body_is_rejected_before_it_arrives() {
+        let mut p = RequestParser::new(8);
+        // Only the head is pushed: the 413 must fire on the declaration.
+        p.push(b"POST /v1/sweeps HTTP/1.1\r\ncontent-length: 9\r\n\r\n");
+        let err = p.next_request().unwrap_err();
+        assert_eq!(err.status(), 413);
+        // The parser is poisoned afterwards.
+        assert_eq!(p.next_request().unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn bad_and_conflicting_content_lengths_are_400() {
+        for head in [
+            "POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+            "POST / HTTP/1.1\r\ncontent-length: -3\r\n\r\n",
+            "POST / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\n",
+            "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+        ] {
+            let err = parse_all(head.as_bytes()).unwrap_err();
+            assert_eq!(err.status(), 400, "head {head:?}");
+        }
+        // Duplicate but *agreeing* lengths are tolerated.
+        let reqs =
+            parse_all(b"POST / HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\nok")
+                .unwrap();
+        assert_eq!(reqs[0].body, b"ok");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for raw in ["GARBAGE\r\n\r\n", "GET /x\r\n\r\n", "GET /x SPDY/3\r\n\r\n", " \r\n\r\n"] {
+            let err = parse_all(raw.as_bytes()).unwrap_err();
+            assert_eq!(err.status(), 400, "line {raw:?}");
+        }
+    }
+
+    #[test]
+    fn an_unterminated_head_beyond_the_cap_is_413() {
+        let mut p = RequestParser::new(1024);
+        p.push(b"GET /x HTTP/1.1\r\n");
+        let filler = vec![b'a'; MAX_HEAD_BYTES + 16];
+        p.push(&filler);
+        assert_eq!(p.next_request().unwrap_err().status(), 413);
+    }
+
+    #[test]
+    fn response_frames_the_body_with_a_length() {
+        let bytes = response(200, "application/json", b"{}");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,35 @@
+//! mtsim-serve: a persistent simulation service over the sweep engine.
+//!
+//! `mtsim serve` turns the batch sweep machinery into a long-lived
+//! process: clients `POST` sweep specs (the exact file format `mtsim
+//! sweep --spec` reads), the server queues them FIFO-within-priority
+//! with bounded admission, runs them one at a time on the worker pool,
+//! and streams durable results back over HTTP. Three properties carry
+//! over from the batch path unchanged, by construction rather than by
+//! re-implementation:
+//!
+//! * **Byte identity** — a job's final result file is
+//!   `SweepOutcome::results_json()` plus a newline, exactly what the CLI
+//!   writes with `--out`; the server adds no fields and reorders
+//!   nothing.
+//! * **Crash safety** — submissions, per-grid-point progress, and
+//!   completion each have an fsync'd commit point (see
+//!   [`state`]); `kill -9` at any instant loses at most in-flight grid
+//!   points, and a restarted server resumes every unfinished job
+//!   automatically.
+//! * **Amortized artifacts** — one [`mtsim_sweep::ArtifactCache`] spans
+//!   all jobs, so a repeated sweep rebuilds nothing (visible as zero new
+//!   misses in `GET /v1/stats`), with LRU eviction between jobs keeping
+//!   the cache bounded.
+//!
+//! The HTTP layer ([`http`]) is a hand-rolled, std-only HTTP/1.1 subset
+//! — the workspace's zero-dependency policy (DESIGN.md §9) extends to
+//! the network. DESIGN.md §19 documents the architecture; README.md
+//! walks through the API with curl.
+
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod state;
+
+pub use server::{ServeConfig, Server, MAX_BODY_BYTES};

@@ -1,0 +1,125 @@
+//! Bounded priority job queue: FIFO within a priority level, higher
+//! levels drain first.
+//!
+//! Admission is bounded — a full queue rejects the submission (the HTTP
+//! layer maps that to 429) instead of buffering without limit, so a
+//! misbehaving client cannot grow server memory. The queue holds job
+//! *ids* only; the job bodies live in the [`crate::state::JobStore`].
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Rejection: the queue is at capacity.
+#[derive(Debug, PartialEq, Eq)]
+pub struct QueueFull {
+    pub cap: usize,
+}
+
+/// FIFO-within-priority queue of job ids with a hard capacity.
+#[derive(Debug)]
+pub struct JobQueue {
+    /// Priority level → ids in arrival order. `BTreeMap` iteration is
+    /// ascending, so the highest level is popped via `last_entry`-style
+    /// access below.
+    levels: BTreeMap<u8, VecDeque<u64>>,
+    len: usize,
+    cap: usize,
+}
+
+impl JobQueue {
+    pub fn new(cap: usize) -> JobQueue {
+        JobQueue { levels: BTreeMap::new(), len: 0, cap }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues `id` at `priority` (higher runs first); rejects when at
+    /// capacity.
+    pub fn push(&mut self, id: u64, priority: u8) -> Result<(), QueueFull> {
+        if self.len >= self.cap {
+            return Err(QueueFull { cap: self.cap });
+        }
+        self.levels.entry(priority).or_default().push_back(id);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Pops the oldest id at the highest non-empty priority level.
+    pub fn pop(&mut self) -> Option<u64> {
+        let (&priority, level) = self.levels.iter_mut().next_back()?;
+        let id = level.pop_front().expect("levels never hold empty queues");
+        if level.is_empty() {
+            self.levels.remove(&priority);
+        }
+        self.len -= 1;
+        Some(id)
+    }
+
+    /// Removes `id` wherever it is queued (cancellation of a job that
+    /// has not started). Returns whether it was present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let mut emptied = None;
+        let mut found = false;
+        for (&priority, level) in self.levels.iter_mut() {
+            if let Some(pos) = level.iter().position(|&q| q == id) {
+                level.remove(pos);
+                found = true;
+                if level.is_empty() {
+                    emptied = Some(priority);
+                }
+                break;
+            }
+        }
+        if let Some(priority) = emptied {
+            self.levels.remove(&priority);
+        }
+        if found {
+            self.len -= 1;
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_a_level_and_priority_across_levels() {
+        let mut q = JobQueue::new(8);
+        q.push(1, 0).unwrap();
+        q.push(2, 5).unwrap();
+        q.push(3, 0).unwrap();
+        q.push(4, 5).unwrap();
+        assert_eq!([q.pop(), q.pop(), q.pop(), q.pop()], [Some(2), Some(4), Some(1), Some(3)]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn a_full_queue_rejects_admission() {
+        let mut q = JobQueue::new(2);
+        q.push(1, 0).unwrap();
+        q.push(2, 9).unwrap();
+        assert_eq!(q.push(3, 9), Err(QueueFull { cap: 2 }));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.push(3, 9).unwrap();
+    }
+
+    #[test]
+    fn remove_plucks_a_queued_id_without_disturbing_order() {
+        let mut q = JobQueue::new(8);
+        for id in 1..=4 {
+            q.push(id, 3).unwrap();
+        }
+        assert!(q.remove(2));
+        assert!(!q.remove(2));
+        assert_eq!([q.pop(), q.pop(), q.pop(), q.pop()], [Some(1), Some(3), Some(4), None]);
+        assert!(q.is_empty());
+    }
+}

@@ -1,4 +1,5 @@
-//! Shared artifact cache: build each application image once per sweep.
+//! Shared artifact cache: build each application image once per cache
+//! lifetime.
 //!
 //! A grid point needs two artifacts: the built application (program +
 //! initialized shared memory + verifier) keyed by `(app, scale,
@@ -19,6 +20,16 @@
 //!   the built program rather than the full `(app, scale, nthreads)`
 //!   key — those apps pay for one grouping pass per sweep, not one per
 //!   thread-count axis value.
+//!
+//! The cache's lifetime is the caller's choice: `run_sweep` creates a
+//! private one per sweep by default, while a long-running service
+//! ([`SweepOpts::cache`](crate::SweepOpts)) shares one across requests
+//! so programs compile once per *server* lifetime. For that second use
+//! the cache supports bounded retention: every lookup stamps its entry
+//! with a logical clock, and [`ArtifactCache::evict_to`] drops the
+//! least-recently-used entries down to a cap — called between sweeps,
+//! never during one, so in-flight `Arc`s stay valid and sweep-internal
+//! counters stay deterministic.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,17 +41,31 @@ use mtsim_asm::Program;
 use crate::checkpoint::fnv1a64;
 
 type Key = (AppKind, Scale, usize);
-type Slot<T> = Arc<OnceLock<T>>;
+
+/// One cached slot plus the logical time of its most recent lookup.
+struct Entry<T> {
+    slot: Arc<OnceLock<T>>,
+    stamp: u64,
+}
+
+impl<T> Entry<T> {
+    fn new(stamp: u64) -> Entry<T> {
+        Entry { slot: Arc::default(), stamp }
+    }
+}
 
 /// Thread-safe cache of built applications and grouped programs.
 #[derive(Default)]
 pub struct ArtifactCache {
-    built: Mutex<HashMap<Key, Slot<Arc<BuiltApp>>>>,
+    built: Mutex<HashMap<Key, Entry<Arc<BuiltApp>>>>,
     /// Grouped programs keyed by the *content hash* of the source
     /// program, so shape-invariant programs group once per sweep.
-    grouped: Mutex<HashMap<u64, Slot<Arc<Program>>>>,
+    grouped: Mutex<HashMap<u64, Entry<Arc<Program>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Logical clock for LRU stamps; bumped on every lookup.
+    clock: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -54,8 +79,13 @@ impl ArtifactCache {
     /// did not perform the build — it may still have *waited* for a
     /// concurrent builder).
     pub fn built(&self, app: AppKind, scale: Scale, nthreads: usize) -> (Arc<BuiltApp>, bool) {
-        let slot =
-            Arc::clone(self.built.lock().unwrap().entry((app, scale, nthreads)).or_default());
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let slot = {
+            let mut map = self.built.lock().unwrap();
+            let entry = map.entry((app, scale, nthreads)).or_insert_with(|| Entry::new(stamp));
+            entry.stamp = stamp;
+            Arc::clone(&entry.slot)
+        };
         // Build outside the map lock: codegen + input-image construction
         // is the expensive part and must not serialize unrelated keys.
         let mut built_here = false;
@@ -73,7 +103,13 @@ impl ArtifactCache {
     pub fn grouped(&self, app: AppKind, scale: Scale, nthreads: usize) -> (Arc<Program>, bool) {
         let (base, _) = self.built(app, scale, nthreads);
         let content = fnv1a64(base.program.listing().as_bytes());
-        let slot = Arc::clone(self.grouped.lock().unwrap().entry(content).or_default());
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let slot = {
+            let mut map = self.grouped.lock().unwrap();
+            let entry = map.entry(content).or_insert_with(|| Entry::new(stamp));
+            entry.stamp = stamp;
+            Arc::clone(&entry.slot)
+        };
         let mut built_here = false;
         let value = slot.get_or_init(|| {
             built_here = true;
@@ -101,6 +137,60 @@ impl ArtifactCache {
     /// Deterministic for a fixed job set: one per distinct artifact.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by [`ArtifactCache::evict_to`] so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently resident (built apps + grouped programs).
+    pub fn entries(&self) -> usize {
+        self.built.lock().unwrap().len() + self.grouped.lock().unwrap().len()
+    }
+
+    /// Evicts least-recently-used entries until at most `max_entries`
+    /// remain across both maps; returns how many were dropped. Meant to
+    /// run *between* sweeps (a service calls it after each job): entries
+    /// a running sweep already looked up stay alive through their
+    /// `Arc`s regardless, but evicting mid-sweep would skew that sweep's
+    /// deterministic hit/miss accounting.
+    pub fn evict_to(&self, max_entries: usize) -> u64 {
+        let mut built = self.built.lock().unwrap();
+        let mut grouped = self.grouped.lock().unwrap();
+        let mut dropped = 0u64;
+        while built.len() + grouped.len() > max_entries {
+            let oldest_built =
+                built.iter().min_by_key(|(_, e)| e.stamp).map(|(k, e)| (*k, e.stamp));
+            let oldest_grouped =
+                grouped.iter().min_by_key(|(_, e)| e.stamp).map(|(k, e)| (*k, e.stamp));
+            match (oldest_built, oldest_grouped) {
+                (Some((k, sb)), Some((_, sg))) if sb <= sg => {
+                    built.remove(&k);
+                }
+                (_, Some((k, _))) => {
+                    grouped.remove(&k);
+                }
+                (Some((k, _)), None) => {
+                    built.remove(&k);
+                }
+                (None, None) => break,
+            }
+            dropped += 1;
+        }
+        self.evictions.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("entries", &self.entries())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
+            .finish()
     }
 }
 
@@ -165,5 +255,40 @@ mod tests {
         });
         assert_eq!(cache.misses(), 1, "duplicate concurrent build");
         assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn eviction_drops_lru_first_and_a_reinserted_key_rebuilds() {
+        let cache = ArtifactCache::new();
+        cache.built(AppKind::Sieve, Scale::Tiny, 1);
+        cache.built(AppKind::Sieve, Scale::Tiny, 2);
+        // Touch the first entry again: it is now the most recent.
+        cache.built(AppKind::Sieve, Scale::Tiny, 1);
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.evict_to(1), 1);
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.evictions(), 1);
+        // The survivor is the recently-touched key; looking it up hits.
+        let (_, hit) = cache.built(AppKind::Sieve, Scale::Tiny, 1);
+        assert!(hit, "the most-recently-used entry must survive eviction");
+        // The evicted key rebuilds (a miss), proving it really left.
+        let (_, hit) = cache.built(AppKind::Sieve, Scale::Tiny, 2);
+        assert!(!hit, "an evicted entry must rebuild on next lookup");
+        assert_eq!(cache.evict_to(0), 2);
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.evictions(), 3);
+    }
+
+    #[test]
+    fn eviction_spans_both_maps_by_recency() {
+        let cache = ArtifactCache::new();
+        cache.grouped(AppKind::Sieve, Scale::Tiny, 1); // built + grouped entries
+        cache.built(AppKind::Sor, Scale::Tiny, 1);
+        assert_eq!(cache.entries(), 3);
+        // Keep only the newest entry: the two older ones go, whichever
+        // map they live in.
+        assert_eq!(cache.evict_to(1), 2);
+        let (_, hit) = cache.built(AppKind::Sor, Scale::Tiny, 1);
+        assert!(hit, "newest entry must survive");
     }
 }

@@ -40,12 +40,13 @@ mod results;
 mod spec;
 mod stream;
 
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use mtsim_core::{Machine, ObsRecorder};
+use mtsim_core::{Machine, MachineScratch, NoopRecorder, ObsRecorder};
 
 pub use cache::ArtifactCache;
 pub use checkpoint::{load_checkpoint, spec_hash, Checkpoint, SweepError};
@@ -78,6 +79,24 @@ pub struct SweepOpts {
     pub retries: u32,
     /// Orchestration-level fault injection for the chaos harness.
     pub chaos: Option<ChaosPlan>,
+    /// Shared artifact cache. `None` (the default) gives the sweep a
+    /// private cache that dies with it; a long-running service passes a
+    /// process-lifetime cache here so programs compile once per server
+    /// lifetime. The outcome's hit/miss telemetry counts this sweep's
+    /// lookups only (deltas), so it stays deterministic either way.
+    pub cache: Option<Arc<ArtifactCache>>,
+    /// Cooperative cancellation. When the token flips to `true`, workers
+    /// stop claiming jobs, in-flight simulations abort (the token is
+    /// polled from the engine step loop), nothing more is appended to
+    /// the checkpoint stream — so a later resume re-runs the cancelled
+    /// jobs — and the sweep returns [`SweepError::Aborted`] unless every
+    /// job had already completed.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Live progress for external observers: set to the number of
+    /// durably completed jobs (checkpointed prior jobs count immediately
+    /// on resume) and incremented as each job finishes. Orthogonal to
+    /// [`SweepOpts::progress`], which prints to stderr.
+    pub completed: Option<Arc<AtomicUsize>>,
 }
 
 impl Default for SweepOpts {
@@ -89,6 +108,9 @@ impl Default for SweepOpts {
             job_timeout: None,
             retries: 2,
             chaos: None,
+            cache: None,
+            cancel: None,
+            completed: None,
         }
     }
 }
@@ -221,8 +243,17 @@ fn execute(
 ) -> Result<SweepOutcome, SweepError> {
     let workers = opts.workers.unwrap_or_else(default_workers);
     let total = prior.len() + remaining.len();
-    let cache = ArtifactCache::new();
+    let cache = match &opts.cache {
+        Some(shared) => Arc::clone(shared),
+        None => Arc::new(ArtifactCache::new()),
+    };
+    // Snapshot the counters so a shared cache reports per-sweep deltas.
+    let (hits0, misses0) = (cache.hits(), cache.misses());
+    let reuses = AtomicU64::new(0);
     let done = AtomicUsize::new(prior.len());
+    if let Some(c) = &opts.completed {
+        c.store(prior.len(), Ordering::Relaxed);
+    }
     let started = Instant::now();
 
     let watchdog = opts.job_timeout.map(|_| Watchdog::new());
@@ -230,16 +261,32 @@ fn execute(
     let first_error: Mutex<Option<SweepError>> = Mutex::new(None);
     let stop = AtomicBool::new(false);
     let completed_this_run = AtomicUsize::new(0);
+    // Jobs that made it past the persistence point this run (appended to
+    // the stream when one exists). A cancelled sweep is Ok only if every
+    // job got here — a cancelled-but-unpersisted final job must abort.
+    let durable = AtomicUsize::new(0);
     let kill_after = opts.chaos.as_ref().and_then(|c| c.kill_after);
+    let cancelled = || opts.cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed));
 
     let ran = pool::run_jobs_partial(remaining, workers, &stop, |_, spec| {
-        let outcome = run_one_with_retries(spec, &cache, opts, watchdog.as_ref());
+        let outcome = run_one_with_retries(spec, &cache, opts, watchdog.as_ref(), &reuses);
+        if cancelled() {
+            // A cancelled sweep stops persisting: whatever this job
+            // produced (typically a cancelled simulation) stays off the
+            // checkpoint, so a later resume re-runs it cleanly.
+            stop.store(true, Ordering::Relaxed);
+            return outcome;
+        }
         if let Some(w) = writer.lock().unwrap().as_mut() {
             if let Err(e) = w.append(&outcome) {
                 stop.store(true, Ordering::Relaxed);
                 first_error.lock().unwrap().get_or_insert(e);
             }
         }
+        if let Some(c) = &opts.completed {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        durable.fetch_add(1, Ordering::Relaxed);
         let n = completed_this_run.fetch_add(1, Ordering::Relaxed) + 1;
         if kill_after.is_some_and(|k| n >= k) {
             stop.store(true, Ordering::Relaxed);
@@ -260,6 +307,10 @@ fn execute(
     let completed = prior.len() + ran.len();
     if let Some(e) = first_error.lock().unwrap().take() {
         return Err(SweepError::Aborted { reason: e.to_string(), completed });
+    }
+    if cancelled() && prior.len() + durable.load(Ordering::Relaxed) < total {
+        let completed = prior.len() + durable.load(Ordering::Relaxed);
+        return Err(SweepError::Aborted { reason: "cancelled".into(), completed });
     }
     // A kill that fires after the last job is a no-op: everything is
     // durable, so the sweep simply completed.
@@ -283,8 +334,9 @@ fn execute(
         jobs: outcomes,
         workers,
         wall: started.elapsed(),
-        cache_hits: cache.hits(),
-        cache_misses: cache.misses(),
+        cache_hits: cache.hits() - hits0,
+        cache_misses: cache.misses() - misses0,
+        machine_reuses: reuses.load(Ordering::Relaxed),
     })
 }
 
@@ -298,16 +350,22 @@ fn run_one_with_retries(
     cache: &ArtifactCache,
     opts: &SweepOpts,
     watchdog: Option<&Watchdog>,
+    reuses: &AtomicU64,
 ) -> JobOutcome {
     let attempts_allowed = 1 + opts.retries;
     let mut attempt = 0u32;
+    let sweep_cancelled = || opts.cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed));
     loop {
         attempt += 1;
         let armed = match (watchdog, opts.job_timeout) {
             (Some(dog), Some(budget)) => Some(dog.arm(budget)),
             _ => None,
         };
-        let cancel = armed.as_ref().map(|a| a.token());
+        // The engine polls one token per run: the per-attempt watchdog
+        // deadline when armed (sweep-level cancel then takes effect at
+        // the next attempt boundary, bounded by the job timeout), else
+        // the sweep-level cancel token directly.
+        let cancel = armed.as_ref().map(|a| a.token()).or_else(|| opts.cancel.clone());
         let run = catch_unwind(AssertUnwindSafe(|| {
             if attempt == 1 {
                 if let Some(chaos) = &opts.chaos {
@@ -316,7 +374,7 @@ fn run_one_with_retries(
                     }
                 }
             }
-            run_one(spec, cache, cancel)
+            run_one(spec, cache, cancel, reuses)
         }));
         drop(armed);
         let mut outcome = match run {
@@ -332,6 +390,12 @@ fn run_one_with_retries(
         if !transient {
             return outcome;
         }
+        // A cancelled sweep never retries: the "timeout" here is the
+        // cancel token aborting the engine, not a transient failure, and
+        // the executor discards the outcome anyway.
+        if sweep_cancelled() {
+            return outcome;
+        }
         if attempt >= attempts_allowed {
             outcome.quarantined = true;
             return outcome;
@@ -342,8 +406,43 @@ fn run_one_with_retries(
     }
 }
 
+thread_local! {
+    /// Per-worker parked machine state. Successive same-shape jobs on one
+    /// worker reuse the program clone and thread vector instead of
+    /// reallocating them; see [`MachineScratch`]. The pool spawns fresh
+    /// scoped threads per sweep, so this holds nothing across sweeps.
+    static MACHINE_SCRATCH: RefCell<MachineScratch> = RefCell::new(MachineScratch::new());
+}
+
+/// Scratch-reuse key for a grid point: everything that determines the
+/// program *content* plus the address of the artifact actually run.
+/// Artifacts are deterministic functions of `(app, scale, nthreads,
+/// grouped)`, so even if an address gets recycled across evictions the
+/// colliding program bytes are identical and reuse stays sound.
+fn scratch_key(spec: &JobSpec, program: &mtsim_asm::Program, grouped: bool) -> u64 {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(spec.app.name().as_bytes());
+    buf.push(b'/');
+    buf.extend_from_slice(spec.scale.name().as_bytes());
+    buf.extend_from_slice(&(spec.nthreads() as u64).to_le_bytes());
+    buf.extend_from_slice(&(program as *const _ as usize as u64).to_le_bytes());
+    buf.push(grouped as u8);
+    let key = checkpoint::fnv1a64(&buf);
+    // Key 0 means "never reuse" to the engine; remap the one-in-2^64 hash.
+    if key == 0 {
+        1
+    } else {
+        key
+    }
+}
+
 /// Runs a single grid point against the shared artifact cache.
-fn run_one(spec: &JobSpec, cache: &ArtifactCache, cancel: Option<Arc<AtomicBool>>) -> JobOutcome {
+fn run_one(
+    spec: &JobSpec,
+    cache: &ArtifactCache,
+    cancel: Option<Arc<AtomicBool>>,
+    reuses: &AtomicU64,
+) -> JobOutcome {
     let (app, mut cache_hit) = cache.built(spec.app, spec.scale, spec.nthreads());
     let cfg = spec.config();
     if cfg.total_threads() != app.nthreads {
@@ -369,27 +468,39 @@ fn run_one(spec: &JobSpec, cache: &ArtifactCache, cancel: Option<Arc<AtomicBool>
 
     // Mirror `mtsim_apps::run_app`'s model-aware program selection, but
     // through the cache so the grouping pass also runs once per key.
-    let machine = if cfg.model.uses_explicit_switch() {
+    let grouped_program;
+    let (program, grouped) = if cfg.model.uses_explicit_switch() {
         let (grouped, hit) = cache.grouped(spec.app, spec.scale, spec.nthreads());
         cache_hit = cache_hit && hit;
-        Machine::try_new(cfg, &grouped, app.shared.clone())
+        grouped_program = grouped;
+        (&*grouped_program, true)
     } else {
-        Machine::try_new(cfg, &app.program, app.shared.clone())
+        (&app.program, false)
     };
-    let machine = match cancel {
-        Some(token) => machine.map(|m| m.with_cancel_token(token)),
-        None => machine,
-    };
-    let run = match rec.as_mut() {
-        Some(r) => machine.and_then(|m| m.run_with(r)),
-        None => machine.and_then(Machine::run),
-    };
+    let key = scratch_key(spec, program, grouped);
+
+    let run = MACHINE_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let (machine, reused) =
+            Machine::try_new_reusing(cfg, program, app.shared.clone(), key, scratch)?;
+        if reused {
+            reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        let machine = match cancel {
+            Some(token) => machine.with_cancel_token(token),
+            None => machine,
+        };
+        match rec.as_mut() {
+            Some(r) => machine.run_reusing(r, key, scratch),
+            None => machine.run_reusing(&mut NoopRecorder, key, scratch),
+        }
+    });
 
     let result = match run {
         Err(err) => Err(JobError::from_sim(&err)),
-        Ok(fin) => match app.verify(&fin.shared) {
+        Ok(lean) => match app.verify(&lean.shared) {
             Err(message) => Err(JobError::Verify { message }),
-            Ok(()) => Ok(fin.result.stats()),
+            Ok(()) => Ok(lean.result.stats()),
         },
     };
     let attr = match &result {
@@ -501,5 +612,63 @@ mod tests {
         assert_eq!(job.result.as_ref().unwrap_err().kind(), "timeout");
         assert!(job.quarantined);
         assert_eq!(job.attempts, 2);
+    }
+
+    #[test]
+    fn machine_reuse_kicks_in_and_is_bit_identical_on_one_worker() {
+        // Same app/scale/threads at several memory latencies: every job
+        // after the first on the single worker reuses the parked machine.
+        let spec = SweepSpec {
+            apps: vec![AppKind::Sieve],
+            models: vec![SwitchModel::SwitchOnLoad],
+            procs: vec![2],
+            threads: vec![2],
+            latencies: vec![1, 4, 16, 64],
+            scale: Scale::Tiny,
+            ..SweepSpec::default()
+        };
+        let opts = SweepOpts { workers: Some(1), ..SweepOpts::default() };
+        let reused = run_sweep(&spec, &opts).unwrap();
+        assert_eq!(reused.ok_count(), 4);
+        assert_eq!(reused.machine_reuses, 3, "jobs 2..4 must reuse the parked machine");
+        // Reuse must never leak state between grid points: the results
+        // match a multi-worker run (mostly fresh machines) byte for byte.
+        let spread =
+            run_sweep(&spec, &SweepOpts { workers: Some(4), ..SweepOpts::default() }).unwrap();
+        assert_eq!(reused.results_json(), spread.results_json());
+    }
+
+    #[test]
+    fn pre_fired_cancel_aborts_without_retries_and_reports_durable_progress() {
+        let cancel = Arc::new(AtomicBool::new(true));
+        let completed = Arc::new(AtomicUsize::new(0));
+        let opts = SweepOpts {
+            workers: Some(1),
+            retries: 3,
+            cancel: Some(Arc::clone(&cancel)),
+            completed: Some(Arc::clone(&completed)),
+            ..SweepOpts::default()
+        };
+        match run_sweep(&tiny_spec(), &opts) {
+            Err(SweepError::Aborted { reason, completed: done }) => {
+                assert_eq!(reason, "cancelled");
+                // A cancelled job is discarded before persistence, so no
+                // durable progress is reported for it.
+                assert_eq!(done, 0);
+            }
+            other => panic!("expected Aborted, got {other:?}"),
+        }
+        assert_eq!(completed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shared_cache_across_sweeps_reports_zero_misses_on_the_second_run() {
+        let cache = Arc::new(ArtifactCache::new());
+        let opts = SweepOpts { cache: Some(Arc::clone(&cache)), ..SweepOpts::default() };
+        let first = run_sweep(&tiny_spec(), &opts).unwrap();
+        assert!(first.cache_misses > 0, "first run must build the artifacts");
+        let second = run_sweep(&tiny_spec(), &opts).unwrap();
+        assert_eq!(second.cache_misses, 0, "a warm shared cache rebuilds nothing");
+        assert_eq!(first.results_json(), second.results_json());
     }
 }

@@ -124,10 +124,15 @@ pub struct SweepOutcome {
     pub workers: usize,
     /// Wall-clock time for the whole sweep.
     pub wall: Duration,
-    /// Artifact-cache hits.
+    /// Artifact-cache hits. For a sweep running against a shared
+    /// process-lifetime cache these count this sweep's lookups only.
     pub cache_hits: u64,
     /// Artifact-cache misses (builds performed).
     pub cache_misses: u64,
+    /// Jobs whose `Machine` was built from a worker's recycled buffers
+    /// (same program, same scratch key) instead of fresh allocations.
+    /// Scheduling-dependent — telemetry only, never the result table.
+    pub machine_reuses: u64,
 }
 
 impl SweepOutcome {
@@ -355,6 +360,7 @@ impl SweepOutcome {
         j.key("sim_cycles_per_sec").f64(self.sim_cycles_per_sec());
         j.key("cache_hits").u64(self.cache_hits);
         j.key("cache_misses").u64(self.cache_misses);
+        j.key("machine_reuses").u64(self.machine_reuses);
         j.end();
         j.finish()
     }
@@ -394,6 +400,7 @@ mod tests {
             wall: Duration::from_millis(10),
             cache_hits: 0,
             cache_misses: 1,
+            machine_reuses: 0,
         }
     }
 

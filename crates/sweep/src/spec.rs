@@ -115,7 +115,7 @@ impl SweepSpec {
                 self.latencies = parse_u64_list(value).map_err(|e| ctx(key, &e))?
             }
             "seeds" | "seed" => self.seeds = parse_u64_list(value).map_err(|e| ctx(key, &e))?,
-            "drop" | "drop-rates" => {
+            "drop" | "drop-rates" | "drop_rates" => {
                 self.drop_rates = value
                     .split(',')
                     .map(|s| {
@@ -158,11 +158,11 @@ impl SweepSpec {
                 self.scale =
                     Scale::from_name(value).ok_or_else(|| format!("unknown scale {value:?}"))?;
             }
-            "max-cycles" => {
+            "max-cycles" | "max_cycles" => {
                 self.max_cycles =
                     value.parse().map_err(|_| ctx(key, &format!("bad integer {value:?}")))?;
             }
-            "max-retries" => {
+            "max-retries" | "max_retries" => {
                 self.max_retries =
                     value.parse().map_err(|_| ctx(key, &format!("bad integer {value:?}")))?;
             }
@@ -245,6 +245,10 @@ impl SweepSpec {
     /// grid or its results. Two specs produce byte-identical result
     /// tables iff their canonical forms are equal, so the checkpoint
     /// layer hashes this string to decide whether a resume is legal.
+    ///
+    /// The rendering is itself a valid spec file:
+    /// `parse_file(canonical())` reproduces the spec exactly, which is
+    /// how `mtsim serve` persists submitted sweeps for restart-resume.
     pub fn canonical(&self) -> String {
         fn list<T: std::fmt::Display>(items: &[T]) -> String {
             items.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
@@ -448,6 +452,25 @@ mod tests {
         assert_eq!(s.threads, vec![1, 2, 3]);
         assert_eq!(s.latencies, vec![50, 100]);
         assert!(SweepSpec::parse_file("no equals here").is_err());
+    }
+
+    #[test]
+    fn canonical_form_round_trips_through_parse_file() {
+        let mut s = SweepSpec::default();
+        s.set("apps", "sieve,sor").unwrap();
+        s.set("models", "all").unwrap();
+        s.set("t", "1-3").unwrap();
+        s.set("drop", "0,0.05").unwrap();
+        s.set("net", "mesh").unwrap();
+        s.set("link-bw", "8").unwrap();
+        s.set("combining", "true").unwrap();
+        s.set("attr", "true").unwrap();
+        s.set("scale", "tiny").unwrap();
+        s.set("max-cycles", "123456").unwrap();
+        s.set("max-retries", "3").unwrap();
+        let parsed = SweepSpec::parse_file(&s.canonical()).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.canonical(), s.canonical());
     }
 
     #[test]
